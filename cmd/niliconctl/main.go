@@ -1,0 +1,119 @@
+// Command niliconctl runs the NiLiCon reproduction experiments and
+// prints the paper's tables and figures.
+//
+// Usage:
+//
+//	niliconctl <experiment> [flags]
+//
+// Experiments:
+//
+//	table1         Optimization ladder (streamcluster)
+//	table2         Recovery latency breakdown (Net, Redis)
+//	fig3           Overhead comparison MC vs NiLiCon (also prints
+//	               Tables III, IV and V from the same runs)
+//	table6         Single-client response latency
+//	validate       §VII-A fault-injection validation
+//	scale-threads  Streamcluster 1..32 threads
+//	scale-clients  Lighttpd 2..128 clients
+//	scale-procs    Lighttpd 1..8 processes
+//	all            Everything above
+//
+// All experiments run in virtual time and are fully deterministic for a
+// given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nilicon/internal/harness"
+	"nilicon/internal/report"
+	"nilicon/internal/simtime"
+)
+
+func main() {
+	fs := flag.NewFlagSet("niliconctl", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "deterministic simulation seed")
+	warmup := fs.Duration("warmup", time.Second, "virtual warmup before measurement")
+	measure := fs.Duration("measure", 3*time.Second, "virtual measurement window")
+	runs := fs.Int("runs", 5, "validation runs per benchmark")
+	bench := fs.String("bench", "redis", "benchmark for the timeline command")
+	runLen := fs.Duration("runlen", 20*time.Second, "validation run length (paper: 60s, 50 runs)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
+		fs.PrintDefaults()
+	}
+	if len(os.Args) < 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	_ = fs.Parse(os.Args[2:])
+
+	rc := harness.RunConfig{Seed: *seed, Warmup: *warmup, Measure: *measure}
+	harness.Verbose = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			_, tb := harness.RunTable1(rc)
+			fmt.Println(tb)
+		case "table2":
+			_, tb := harness.RunTable2(rc)
+			fmt.Println(tb)
+		case "fig3":
+			rows, tb := harness.RunFigure3(rc)
+			fmt.Println(harness.RenderFigure3(rows))
+			fmt.Println(tb)
+			fmt.Println(harness.Table3(rows))
+			fmt.Println(harness.Table4(rows))
+			fmt.Println(harness.Table5(rows))
+		case "table6":
+			_, tb := harness.RunTable6(rc)
+			fmt.Println(tb)
+		case "validate":
+			_, tb := harness.RunValidation(nil, *runs, simtime.Duration(*runLen), *seed)
+			fmt.Println(tb)
+		case "scale-threads":
+			_, tb := harness.RunScaleThreads(nil, rc)
+			fmt.Println(tb)
+		case "scale-clients":
+			_, tb := harness.RunScaleClients(nil, rc)
+			fmt.Println(tb)
+		case "scale-procs":
+			_, tb := harness.RunScaleProcs(nil, rc)
+			fmt.Println(tb)
+		case "report":
+			fmt.Println(report.Build(rc))
+		case "timeline":
+			csv, err := harness.RunTimeline(*bench, rc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(csv)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			fs.Usage()
+			os.Exit(2)
+		}
+	}
+
+	if cmd == "all" {
+		for _, name := range []string{"table1", "table2", "fig3", "table6", "validate", "scale-threads", "scale-clients", "scale-procs"} {
+			fmt.Printf("== %s ==\n", name)
+			run(name)
+		}
+		return
+	}
+	run(cmd)
+}
+
+// The "all" output is what EXPERIMENTS.md's committed run log contains;
+// regenerate with:
+//
+//	./niliconctl all > results.txt

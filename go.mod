@@ -1,0 +1,3 @@
+module nilicon
+
+go 1.22

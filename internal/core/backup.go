@@ -1,0 +1,366 @@
+package core
+
+import (
+	"sort"
+
+	"fmt"
+
+	"nilicon/internal/criu"
+	"nilicon/internal/simfs"
+	"nilicon/internal/simnet"
+	"nilicon/internal/simtime"
+)
+
+// Input-blocking mode aliases.
+const (
+	plugBufferMode   = simnet.PlugBuffer
+	firewallDropMode = simnet.FirewallDrop
+)
+
+// Backup-side processing cost model (Table V): reading the transferred
+// state costs per-byte copy time plus one read system call per chunk;
+// socket state arrives in much finer chunks than page data, which is why
+// Node's backup utilization exceeds Redis's despite similar state sizes
+// (§VII-C).
+const (
+	backupReadSyscall = 2 * simtime.Microsecond
+	pageChunkBytes    = 64 << 10
+	sockChunkBytes    = 1 << 10
+)
+
+func backupCopyCost(bytes int64) simtime.Duration {
+	// ≈0.4 ns per byte.
+	return simtime.Duration(bytes * 2 / 5)
+}
+
+// maxPageNumber bounds per-process page numbers so (process index, page
+// number) packs into the radix store's 36-bit key space.
+const maxPageNumber = 1 << 28
+
+type fsPageKey struct {
+	ino int
+	idx int64
+}
+
+// RecoveryStats reports the failover timeline (Table II).
+type RecoveryStats struct {
+	// DetectedAt is when the missing heartbeats crossed the threshold.
+	DetectedAt simtime.Time
+	// Other is the fixed agent work: discarding uncommitted state and
+	// building the image files CRIU expects (§IV).
+	Other simtime.Duration
+	// Restore is the container state restoration time.
+	Restore simtime.Duration
+	// ARP is the gratuitous-ARP propagation time.
+	ARP simtime.Duration
+	// TCP is the portion of the retransmission timeout not overlapped
+	// with other recovery actions (§V-E, Table II): the repair-RTO
+	// countdown starts when the socket queues are repaired mid-restore,
+	// so only its remainder past network-live delays the first
+	// retransmission of unacknowledged data.
+	TCP simtime.Duration
+	// NetworkLiveAt is when the restored container's sockets went live.
+	NetworkLiveAt simtime.Time
+	// CommittedEpoch is the checkpoint recovered to.
+	CommittedEpoch uint64
+}
+
+// BackupAgent receives checkpoints, buffers them in memory (NiLiCon
+// keeps no ready-to-go container, §III), acknowledges them once the
+// corresponding disk barrier has arrived, commits them, and performs
+// recovery when the failure detector fires.
+type BackupAgent struct {
+	cl  *Cluster
+	cfg Config
+	r   *Replicator
+
+	store criu.PageStore
+
+	fsPages  map[fsPageKey]simfs.PageEntry
+	fsInodes map[int]simfs.InodeEntry
+
+	lastImage      *criu.Image
+	lastInfrequent criu.InfrequentState
+	haveInfrequent bool
+
+	committed    uint64
+	hasCommitted bool
+
+	pending map[uint64]*criu.Image
+
+	lastHeartbeat simtime.Time
+	detector      *simtime.Ticker
+	monitoring    bool
+	recovered     bool
+
+	// CPUBusy is the backup host's processing time (Table V).
+	CPUBusy simtime.Duration
+
+	// Recovery result, populated after failover.
+	Recovery      *RecoveryStats
+	RestoredCtr   RestoredContainer
+	recoverErr    error
+	storeCostSeen simtime.Duration
+}
+
+func newBackupAgent(cl *Cluster, cfg Config, r *Replicator) *BackupAgent {
+	b := &BackupAgent{
+		cl: cl, cfg: cfg, r: r,
+		fsPages:  make(map[fsPageKey]simfs.PageEntry),
+		fsInodes: make(map[int]simfs.InodeEntry),
+		pending:  make(map[uint64]*criu.Image),
+	}
+	if cfg.Opts.OptimizeCRIU {
+		b.store = criu.NewRadixStore()
+	} else {
+		b.store = criu.NewListStore()
+	}
+	return b
+}
+
+func (b *BackupAgent) start() {
+	b.lastHeartbeat = b.cl.Clock.Now()
+	b.monitoring = true
+	b.cl.DRBDBackup.OnBarrier = func(e uint64) { b.tryAck(e) }
+	b.detector = simtime.NewTicker(b.cl.Clock, b.cfg.HeartbeatInterval, b.checkHeartbeat)
+}
+
+func (b *BackupAgent) stop() {
+	b.monitoring = false
+	if b.detector != nil {
+		b.detector.Stop()
+	}
+}
+
+func (b *BackupAgent) heartbeatArrived() {
+	b.lastHeartbeat = b.cl.Clock.Now()
+}
+
+func (b *BackupAgent) checkHeartbeat() {
+	if !b.monitoring || b.recovered {
+		return
+	}
+	// Until the initial synchronization commits there is nothing to
+	// recover to; the warm spare arms its detector at first commit.
+	if !b.hasCommitted {
+		b.lastHeartbeat = b.cl.Clock.Now()
+		return
+	}
+	deadline := simtime.Duration(b.cfg.HeartbeatMisses) * b.cfg.HeartbeatInterval
+	if b.cl.Clock.Now().Sub(b.lastHeartbeat) > deadline {
+		b.Recover()
+	}
+}
+
+// receiveState handles a checkpoint's arrival.
+func (b *BackupAgent) receiveState(epoch uint64, img *criu.Image) {
+	if b.recovered {
+		return
+	}
+	b.pending[epoch] = img
+	b.tryAck(epoch)
+}
+
+// tryAck acknowledges an epoch once both its container state and its
+// disk barrier have arrived, then commits it (§IV).
+func (b *BackupAgent) tryAck(epoch uint64) {
+	img, ok := b.pending[epoch]
+	if !ok || b.recovered {
+		return
+	}
+	if !b.cl.DRBDBackup.BarrierReceived(epoch) {
+		return
+	}
+	delete(b.pending, epoch)
+	r := b.r
+	b.cl.AckLink.Transfer(16, func() { r.releaseOutput(epoch) })
+	b.commit(epoch, img)
+}
+
+// commit merges the acknowledged checkpoint into the buffered committed
+// state and applies the epoch's disk writes.
+func (b *BackupAgent) commit(epoch uint64, img *criu.Image) {
+	b.store.BeginCheckpoint()
+	storeBefore := b.store.Cost()
+	var pageBytes, sockBytes int64
+	for pi := range img.Procs {
+		p := &img.Procs[pi]
+		for _, pg := range p.Pages {
+			if pg.PN >= maxPageNumber {
+				panic(fmt.Sprintf("core: page number %#x exceeds store key space", pg.PN))
+			}
+			// The image's page buffers are dead after this merge; hand
+			// them to the store without copying.
+			b.store.PutOwned(uint64(pi)<<28|pg.PN, pg.Data)
+			pageBytes += int64(len(pg.Data))
+		}
+	}
+	for _, s := range img.Sockets {
+		sockBytes += s.Size()
+	}
+	for _, pe := range img.FSCache.Pages {
+		b.fsPages[fsPageKey{pe.Ino, pe.Idx}] = pe
+		pageBytes += int64(len(pe.Data))
+	}
+	for _, ie := range img.FSCache.Inodes {
+		b.fsInodes[ie.Ino] = ie
+	}
+	if !img.InfrequentCached || !b.haveInfrequent {
+		b.lastInfrequent = img.Infrequent
+		b.haveInfrequent = true
+	}
+	// Page contents now live in the store; keep only the metadata.
+	for pi := range img.Procs {
+		img.Procs[pi].Pages = nil
+	}
+	b.lastImage = img
+	b.committed = epoch
+	b.hasCommitted = true
+
+	if err := b.cl.DRBDBackup.Commit(epoch); err != nil {
+		panic("core: disk commit failed: " + err.Error())
+	}
+
+	// Backup CPU accounting (Table V).
+	cost := backupCopyCost(pageBytes + sockBytes)
+	cost += backupReadSyscall * simtime.Duration(1+pageBytes/pageChunkBytes)
+	cost += backupReadSyscall * simtime.Duration(1+sockBytes/sockChunkBytes)
+	cost += b.store.Cost() - storeBefore
+	cost += 40 * simtime.Microsecond // ack + bookkeeping
+	b.CPUBusy += cost
+}
+
+// CommittedEpoch returns the newest committed epoch (ok=false before the
+// first commit).
+func (b *BackupAgent) CommittedEpoch() (uint64, bool) { return b.committed, b.hasCommitted }
+
+// buildRestoreImage assembles the full image CRIU restore expects from
+// the buffered committed state (§IV).
+func (b *BackupAgent) buildRestoreImage() (*criu.Image, error) {
+	if !b.hasCommitted || b.lastImage == nil {
+		return nil, fmt.Errorf("core: no committed checkpoint to recover from")
+	}
+	src := b.lastImage
+	img := &criu.Image{
+		ContainerID: src.ContainerID,
+		IP:          src.IP,
+		Cores:       src.Cores,
+		Epoch:       b.committed,
+		Full:        true,
+		Sockets:     src.Sockets,
+		Listeners:   src.Listeners,
+		Infrequent:  b.lastInfrequent,
+		AppState:    src.AppState,
+	}
+	for pi := range src.Procs {
+		p := src.Procs[pi]
+		p.Pages = nil
+		lo := uint64(pi) << 28
+		hi := uint64(pi+1) << 28
+		b.store.ForEach(func(key uint64, data []byte) {
+			if key >= lo && key < hi {
+				p.Pages = append(p.Pages, criu.PageImage{PN: key - lo, Data: data})
+			}
+		})
+		img.Procs = append(img.Procs, p)
+	}
+	var fc simfs.CacheSnapshot
+	for _, ie := range b.fsInodes {
+		fc.Inodes = append(fc.Inodes, ie)
+	}
+	for _, pe := range b.fsPages {
+		fc.Pages = append(fc.Pages, pe)
+	}
+	sort.Slice(fc.Inodes, func(i, j int) bool { return fc.Inodes[i].Ino < fc.Inodes[j].Ino })
+	sort.Slice(fc.Pages, func(i, j int) bool {
+		if fc.Pages[i].Ino != fc.Pages[j].Ino {
+			return fc.Pages[i].Ino < fc.Pages[j].Ino
+		}
+		return fc.Pages[i].Idx < fc.Pages[j].Idx
+	})
+	img.FSCache = fc
+	return img, nil
+}
+
+// Recover performs failover: discard uncommitted state, commit what is
+// acknowledged, promote the disk, restore the container via CRIU, and
+// bring its network up (disconnect → restore → reconnect + gratuitous
+// ARP → leave repair mode), in the order §III/§IV prescribe.
+func (b *BackupAgent) Recover() {
+	if b.recovered {
+		return
+	}
+	b.recovered = true
+	b.stop()
+	now := b.cl.Clock.Now()
+
+	stats := &RecoveryStats{DetectedAt: now, CommittedEpoch: b.committed}
+	b.Recovery = stats
+
+	// Discard any uncommitted buffered state.
+	b.pending = make(map[uint64]*criu.Image)
+	b.cl.DRBDBackup.DiscardAbove(b.committed)
+	if err := b.cl.DRBDBackup.Promote(); err != nil {
+		b.recoverErr = err
+		return
+	}
+
+	img, err := b.buildRestoreImage()
+	if err != nil {
+		b.recoverErr = err
+		return
+	}
+	// Fixed agent work: image-file creation etc. ("Others" in Table II).
+	stats.Other = 7 * simtime.Millisecond
+
+	m := b.cl.Backup.Kernel.StartMeter()
+	ctr, err := criu.Restore(b.cl.Backup, img, b.cl.DRBDBackup)
+	restoreCost := m.Stop()
+	if err != nil {
+		b.recoverErr = err
+		return
+	}
+	stats.Restore = restoreCost
+	stats.ARP = 28 * simtime.Millisecond
+	b.RestoredCtr = ctr
+
+	// The restore spans [now+Other, now+Other+Restore) in virtual time;
+	// sockets are repaired roughly halfway through, which is when their
+	// retransmission timers arm (the Table II TCP component is the part
+	// of the RTO countdown not overlapped with the rest of recovery).
+	sockRestoredAt := now.Add(stats.Other + restoreCost/2)
+	for _, s := range ctr.Stack.Sockets() {
+		s.SetRestoredAt(sockRestoredAt)
+	}
+
+	// Keep the restored container frozen until the restore completes in
+	// virtual time; the workload reattaches its tasks meanwhile.
+	ctr.Freeze()
+	if b.cfg.Reattach != nil {
+		b.cfg.Reattach(ctr, img.AppState)
+	}
+
+	b.cl.Clock.Schedule(stats.Other+restoreCost, func() {
+		ctr.Thaw()
+		criu.FinishNetworkRestore(ctr, b.cfg.Opts.RepairRTOPatch, func() {
+			stats.NetworkLiveAt = b.cl.Clock.Now()
+			rto := ctr.Stack.RTOMin
+			if !b.cfg.Opts.RepairRTOPatch {
+				rto = ctr.Stack.RTOInitial
+			}
+			elapsed := stats.NetworkLiveAt.Sub(sockRestoredAt)
+			if remaining := rto - elapsed; remaining > 0 {
+				stats.TCP = remaining
+			}
+			if b.cfg.OnRecovered != nil {
+				b.cfg.OnRecovered(ctr, *stats)
+			}
+		})
+	})
+}
+
+// Recovered reports whether failover has run.
+func (b *BackupAgent) Recovered() bool { return b.recovered }
+
+// RecoverError returns the failover error, if any.
+func (b *BackupAgent) RecoverError() error { return b.recoverErr }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"nilicon/internal/container"
+	"nilicon/internal/simdisk"
+	"nilicon/internal/simnet"
+	"nilicon/internal/simtime"
+)
+
+// RestoredContainer is the container handle passed to recovery
+// callbacks.
+type RestoredContainer = *container.Container
+
+// Cluster is the paper's experimental topology (§VI): a primary and a
+// backup host joined by a dedicated 10 GbE replication link, both on a
+// 1 GbE LAN that also carries client traffic through the virtual bridge.
+type Cluster struct {
+	Clock  *simtime.Clock
+	Switch *simnet.Switch
+
+	Primary *container.Host
+	Backup  *container.Host
+
+	// ReplLink carries checkpoint state and DRBD writes primary→backup.
+	ReplLink *simnet.Link
+	// AckLink carries acknowledgments and heartbeats backup↔primary.
+	AckLink *simnet.Link
+
+	DRBDPrimary *simdisk.DRBD
+	DRBDBackup  *simdisk.DRBD
+
+	clients int
+}
+
+// ClusterParams tunes the topology; zero values take the defaults
+// matching the paper's testbed.
+type ClusterParams struct {
+	LANLatency  simtime.Duration // client↔host one-way (1 GbE LAN)
+	ARPDelay    simtime.Duration // gratuitous-ARP propagation (Table II: 28 ms)
+	ReplLatency simtime.Duration // 10 GbE link one-way
+	ReplBW      int64            // bytes/second (10 Gb/s)
+}
+
+func (p *ClusterParams) defaults() {
+	if p.LANLatency == 0 {
+		p.LANLatency = 150 * simtime.Microsecond
+	}
+	if p.ARPDelay == 0 {
+		p.ARPDelay = 28 * simtime.Millisecond
+	}
+	if p.ReplLatency == 0 {
+		p.ReplLatency = 50 * simtime.Microsecond
+	}
+	if p.ReplBW == 0 {
+		p.ReplBW = 1_250_000_000 // 10 Gb/s
+	}
+}
+
+// NewCluster builds the two-host topology plus the replication links
+// and the DRBD pair over the hosts' disks.
+func NewCluster(clock *simtime.Clock, params ClusterParams) *Cluster {
+	params.defaults()
+	sw := simnet.NewSwitch(clock, params.LANLatency, params.ARPDelay)
+	cl := &Cluster{
+		Clock:    clock,
+		Switch:   sw,
+		Primary:  container.NewHost("primary", clock, sw),
+		Backup:   container.NewHost("backup", clock, sw),
+		ReplLink: simnet.NewLink(clock, params.ReplLatency, params.ReplBW),
+		AckLink:  simnet.NewLink(clock, params.ReplLatency, params.ReplBW),
+	}
+	cl.DRBDPrimary, cl.DRBDBackup = simdisk.NewDRBDPair(cl.Primary.Disk, cl.Backup.Disk, cl.ReplLink)
+	return cl
+}
+
+// NewProtectedContainer creates a container on the primary host whose
+// root file system sits on the replicated DRBD device.
+func (cl *Cluster) NewProtectedContainer(id string, ip simnet.Addr, cores int) *container.Container {
+	return container.Create(cl.Primary, container.Spec{
+		ID: id, IP: ip, Cores: cores, Store: cl.DRBDPrimary,
+	})
+}
+
+// NewClient attaches a client TCP stack to the LAN (the client host in
+// the paper's testbed).
+func (cl *Cluster) NewClient(ip simnet.Addr) *simnet.Stack {
+	cl.clients++
+	port := cl.Switch.Attach("client-" + string(ip))
+	st := simnet.NewStack(cl.Clock, ip, port.Send)
+	port.SetReceiver(st.Receive)
+	cl.Switch.Learn(ip, port)
+	return st
+}

@@ -1,0 +1,143 @@
+// Package core implements NiLiCon itself: the primary and backup agents
+// that coordinate epoch-based container replication (§IV), all of the
+// §V optimizations as switchable configuration, the heartbeat failure
+// detector, and failover/recovery. It is the paper's primary
+// contribution; everything it builds on lives in the substrate packages
+// (simkernel, simnet, simdisk, simfs, container, criu).
+package core
+
+import (
+	"nilicon/internal/criu"
+	"nilicon/internal/simtime"
+)
+
+// OptSet selects which of NiLiCon's optimizations are active. Each field
+// corresponds to a row of Table I; BasicOpts with rows enabled
+// cumulatively reproduces the optimization ladder.
+type OptSet struct {
+	// OptimizeCRIU bundles the §V-A CRIU optimizations: a persistent
+	// checkpointing agent instead of a forked CRIU process per epoch,
+	// polling instead of the 100 ms freeze sleep, removal of the proxy
+	// processes, and the radix-tree page store at the backup.
+	OptimizeCRIU bool
+	// CacheInfrequent caches rarely-modified in-kernel state, using the
+	// ftrace tracker for invalidation (§V-B).
+	CacheInfrequent bool
+	// PlugInput blocks network input with the sch_plug buffering module
+	// (43 µs) instead of firewall rules (7 ms + dropped SYNs) (§V-C).
+	PlugInput bool
+	// NetlinkVMA obtains VMA information via the task-diag netlink patch
+	// instead of /proc/pid/smaps (§V-D).
+	NetlinkVMA bool
+	// StagingBuffer copies dirty pages to a local staging buffer so the
+	// container resumes before the transfer to the backup completes
+	// (§V-D).
+	StagingBuffer bool
+	// SharedMemPages transfers dirty pages from the parasite via shared
+	// memory instead of a pipe (§V-D).
+	SharedMemPages bool
+	// RepairRTOPatch sets the minimum TCP retransmission timeout for
+	// sockets leaving repair mode (§V-E). It affects only recovery
+	// latency, not normal-operation overhead.
+	RepairRTOPatch bool
+}
+
+// AllOpts returns the fully optimized NiLiCon configuration.
+func AllOpts() OptSet {
+	return OptSet{
+		OptimizeCRIU:    true,
+		CacheInfrequent: true,
+		PlugInput:       true,
+		NetlinkVMA:      true,
+		StagingBuffer:   true,
+		SharedMemPages:  true,
+		RepairRTOPatch:  true,
+	}
+}
+
+// BasicOpts returns the unoptimized basic implementation (§IV).
+func BasicOpts() OptSet { return OptSet{} }
+
+// LadderStep names one cumulative row of Table I.
+type LadderStep struct {
+	Name string
+	Opts OptSet
+}
+
+// Table1Ladder returns the cumulative optimization ladder exactly as in
+// Table I.
+func Table1Ladder() []LadderStep {
+	steps := []struct {
+		name  string
+		apply func(*OptSet)
+	}{
+		{"Basic implementation", func(*OptSet) {}},
+		{"+ Optimize CRIU", func(o *OptSet) { o.OptimizeCRIU = true }},
+		{"+ Cache infrequently-modified state", func(o *OptSet) { o.CacheInfrequent = true }},
+		{"+ Optimize blocking network input", func(o *OptSet) { o.PlugInput = true }},
+		{"+ Obtain VMAs from netlink", func(o *OptSet) { o.NetlinkVMA = true }},
+		{"+ Add memory staging buffer", func(o *OptSet) { o.StagingBuffer = true }},
+		{"+ Transfer dirty pages via shared memory", func(o *OptSet) { o.SharedMemPages = true }},
+	}
+	var out []LadderStep
+	cur := BasicOpts()
+	for _, s := range steps {
+		s.apply(&cur)
+		out = append(out, LadderStep{Name: s.name, Opts: cur})
+	}
+	return out
+}
+
+// criuOptions maps the option set onto the checkpoint engine's flags.
+func (o OptSet) criuOptions() criu.Options {
+	return criu.Options{
+		Incremental:     true,
+		FreezePoll:      o.OptimizeCRIU,
+		NetlinkVMA:      o.NetlinkVMA,
+		SharedMemPages:  o.SharedMemPages,
+		CacheInfrequent: o.CacheInfrequent,
+	}
+}
+
+// Config parameterizes a Replicator.
+type Config struct {
+	// EpochInterval is the execution phase length (30 ms in the paper).
+	EpochInterval simtime.Duration
+	// HeartbeatInterval is the failure-detector period (30 ms).
+	HeartbeatInterval simtime.Duration
+	// HeartbeatMisses is how many consecutive missed heartbeats trigger
+	// recovery (3).
+	HeartbeatMisses int
+	// Opts selects the active optimizations.
+	Opts OptSet
+	// KeepAlive starts the keep-alive process in the container (§IV).
+	KeepAlive bool
+
+	// ExtraStopPerCheckpoint is the calibrated residual stop-time cost
+	// of in-kernel state the simulation does not model structurally
+	// (epoll sets, pipes, allocator arenas; see DESIGN.md §1 and the
+	// workload profiles). Zero for non-calibrated runs.
+	ExtraStopPerCheckpoint simtime.Duration
+	// RuntimeTaxPerEpoch models per-epoch runtime overhead beyond
+	// dirty-page tracking (write-protect faults on cache pages, CoW):
+	// the container loses this much execution time mid-epoch.
+	RuntimeTaxPerEpoch simtime.Duration
+
+	// Reattach rebuilds the workload on a restored container from the
+	// checkpointed application state. Required for failover to resume
+	// service.
+	Reattach func(ctr RestoredContainer, appState any)
+	// OnRecovered fires when recovery completes (network live).
+	OnRecovered func(ctr RestoredContainer, stats RecoveryStats)
+}
+
+// DefaultConfig returns the paper's parameters with all optimizations.
+func DefaultConfig() Config {
+	return Config{
+		EpochInterval:     30 * simtime.Millisecond,
+		HeartbeatInterval: 30 * simtime.Millisecond,
+		HeartbeatMisses:   3,
+		Opts:              AllOpts(),
+		KeepAlive:         true,
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"nilicon/internal/container"
+	"nilicon/internal/criu"
+	"nilicon/internal/metrics"
+	"nilicon/internal/simtime"
+	"nilicon/internal/trace"
+)
+
+// Replicator is the primary agent (§IV): it runs the epoch loop —
+// execute, stop (block input, freeze, collect), resume, transfer, await
+// acknowledgment, release buffered output — and sends heartbeats to the
+// backup agent.
+type Replicator struct {
+	Cfg     Config
+	Cluster *Cluster
+	Ctr     *container.Container
+	Backup  *BackupAgent
+
+	engine *criu.Engine
+	epoch  uint64
+
+	running bool
+	stopped bool
+
+	// Virtual-time measurements, aggregated by the harness into Tables
+	// I, III and IV.
+	StopTimes    metrics.Stream // seconds
+	StateBytes   metrics.Stream // bytes
+	DirtyPages   metrics.Stream // pages
+	FreezeWaits  metrics.Stream // seconds
+	SockCollects metrics.Stream // seconds
+	ThreadColls  metrics.Stream // seconds
+	MemCopies    metrics.Stream // seconds
+	VMACollects  metrics.Stream // seconds
+
+	// LastStats is the most recent checkpoint's breakdown.
+	LastStats criu.CheckpointStats
+
+	// Timeline, when non-nil, records a per-epoch time series
+	// (niliconctl timeline).
+	Timeline *trace.Timeline
+
+	// ReplStart marks when replication began (for utilization math).
+	ReplStart simtime.Time
+
+	hbTicker *simtime.Ticker
+	lastCPU  simtime.Duration
+
+	epochEvent *simtime.Event
+}
+
+// NewReplicator wires a replicator for the given protected container.
+// The container must have been created with Cluster.NewProtectedContainer
+// (its file system must sit on the cluster's DRBD primary end).
+func NewReplicator(cl *Cluster, ctr *container.Container, cfg Config) *Replicator {
+	if cfg.EpochInterval <= 0 {
+		cfg.EpochInterval = 30 * simtime.Millisecond
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 30 * simtime.Millisecond
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 3
+	}
+	r := &Replicator{Cfg: cfg, Cluster: cl, Ctr: ctr}
+	r.engine = criu.NewEngine(ctr, cfg.Opts.criuOptions())
+	r.Backup = newBackupAgent(cl, cfg, r)
+	return r
+}
+
+// Start begins replication: output buffering turns on, the keep-alive
+// process starts, heartbeats flow, and the first (full) checkpoint is
+// taken after one epoch interval.
+func (r *Replicator) Start() {
+	if r.running {
+		return
+	}
+	r.running = true
+	r.ReplStart = r.Cluster.Clock.Now()
+	r.Ctr.Qdisc.SetReplicating(true)
+	if r.Cfg.Opts.PlugInput {
+		r.Ctr.Qdisc.SetInputMode(plugBufferMode)
+	} else {
+		r.Ctr.Qdisc.SetInputMode(firewallDropMode)
+	}
+	if r.Cfg.KeepAlive {
+		r.Ctr.StartKeepAlive(r.Cfg.HeartbeatInterval)
+	}
+	r.Cluster.DRBDPrimary.SetEpoch(0)
+
+	r.hbTicker = simtime.NewTicker(r.Cluster.Clock, r.Cfg.HeartbeatInterval, r.heartbeat)
+	r.lastCPU = r.Ctr.Cgroup.CPUUsage()
+	r.Backup.start()
+
+	r.epochEvent = r.Cluster.Clock.Schedule(r.Cfg.EpochInterval, r.runEpoch)
+}
+
+// Stop ends replication cleanly (measurement teardown): buffered output
+// is flushed and no further checkpoints are taken.
+func (r *Replicator) Stop() {
+	r.stopped = true
+	r.running = false
+	if r.hbTicker != nil {
+		r.hbTicker.Stop()
+	}
+	if r.epochEvent != nil {
+		r.epochEvent.Cancel()
+	}
+	r.Backup.stop()
+	r.Ctr.Qdisc.SetReplicating(false)
+	r.engine.Close()
+}
+
+// Epochs returns how many checkpoints have been taken.
+func (r *Replicator) Epochs() uint64 { return r.epoch }
+
+// heartbeat sends a heartbeat if the container made progress since the
+// last tick (cpuacct increased) or is intentionally frozen by our own
+// checkpoint (the agent knows it is healthy; without this, long stop
+// phases would starve the heartbeat).
+func (r *Replicator) heartbeat() {
+	if r.stopped {
+		return
+	}
+	cpu := r.Ctr.Cgroup.CPUUsage()
+	progressed := cpu > r.lastCPU
+	r.lastCPU = cpu
+	if !progressed && !r.Ctr.Frozen() {
+		return
+	}
+	b := r.Backup
+	// Heartbeats are individual packets; they interleave with any bulk
+	// state transfer in progress rather than queueing behind it.
+	r.Cluster.ReplLink.TransferExpress(16, func() { b.heartbeatArrived() })
+}
+
+// runEpoch executes the stop phase at an epoch boundary: block input,
+// freeze, collect, barrier, rotate output buffer, then resume and
+// transfer (ordering depends on the staging-buffer optimization).
+func (r *Replicator) runEpoch() {
+	if r.stopped {
+		return
+	}
+	cl := r.Cluster
+	k := r.Ctr.Host.Kernel
+	costs := k.Costs
+	epoch := r.epoch
+
+	// Block network input for the duration of the stop phase (§III).
+	var blockCost simtime.Duration
+	if r.Cfg.Opts.PlugInput {
+		blockCost = costs.PlugBlock
+	} else {
+		blockCost = costs.FirewallSetup
+	}
+	r.Ctr.Qdisc.BlockInput()
+
+	img, stats := r.engine.Checkpoint()
+
+	stop := stats.StopTime() + blockCost + r.Cfg.ExtraStopPerCheckpoint
+	if !r.Cfg.Opts.OptimizeCRIU {
+		// Stock CRIU: fork a fresh checkpoint process per epoch and push
+		// the state through the proxy processes (§V-A).
+		stop += costs.CRIUForkSetup
+		stop += costs.ProxyFixed + costs.ProxyPerMB*simtime.Duration(stats.StateBytes>>20)
+	}
+	// End this epoch's disk writes and start tagging the next epoch's.
+	cl.DRBDPrimary.Barrier(epoch)
+	cl.DRBDPrimary.SetEpoch(epoch + 1)
+
+	// Buffered output generated during this epoch is released only when
+	// the backup acknowledges this checkpoint.
+	r.Ctr.Qdisc.Rotate(epoch)
+
+	b := r.Backup
+	now := cl.Clock.Now()
+	resumeDelay := stop
+	if r.Cfg.Opts.StagingBuffer {
+		// Pages were copied into the staging buffer during the stop;
+		// the transfer overlaps the next execution phase.
+		cl.Clock.Schedule(resumeDelay, func() {
+			cl.ReplLink.Transfer(stats.StateBytes, func() { b.receiveState(epoch, img) })
+		})
+	} else {
+		// The container may not resume until the state has reached the
+		// backup (§V-D deficiency (2)).
+		deliverAt := cl.ReplLink.Transfer(stats.StateBytes, func() { b.receiveState(epoch, img) })
+		if d := deliverAt.Sub(now); d > resumeDelay {
+			resumeDelay = d
+		}
+	}
+
+	r.LastStats = stats
+	if !img.Full {
+		// The initial full synchronization is one-time setup; Tables
+		// III/IV report steady-state incremental checkpoints. The stop
+		// time is the full pause: freeze + collect (+ transfer when no
+		// staging buffer is used).
+		r.StopTimes.Add(simtime.Duration(resumeDelay).Seconds())
+		r.StateBytes.Add(float64(stats.StateBytes))
+		r.DirtyPages.Add(float64(stats.DirtyPages))
+		r.FreezeWaits.Add(stats.FreezeWait.Seconds())
+		r.SockCollects.Add(stats.SocketCollect.Seconds())
+		r.ThreadColls.Add(stats.ThreadCollect.Seconds())
+		r.MemCopies.Add(stats.MemCopy.Seconds())
+		r.VMACollects.Add(stats.VMACollect.Seconds())
+		if r.Timeline != nil {
+			r.Timeline.Record(trace.EpochRecord{
+				Epoch:      epoch,
+				At:         now,
+				Stop:       resumeDelay,
+				FreezeWait: stats.FreezeWait,
+				MemCopy:    stats.MemCopy,
+				SockColl:   stats.SocketCollect,
+				StateBytes: stats.StateBytes,
+				DirtyPages: stats.DirtyPages,
+			})
+		}
+	}
+
+	r.epoch++
+	cl.Clock.Schedule(resumeDelay, func() {
+		if r.stopped {
+			return
+		}
+		r.Ctr.Thaw()
+		r.Ctr.Qdisc.UnblockInput()
+		r.epochEvent = cl.Clock.Schedule(r.Cfg.EpochInterval, r.runEpoch)
+		r.applyRuntimeTax()
+	})
+}
+
+// applyRuntimeTax steals the configured runtime-overhead time from the
+// middle of the execution phase (the container briefly pauses, modeling
+// tracking costs not tied to individual page writes).
+func (r *Replicator) applyRuntimeTax() {
+	tax := r.Cfg.RuntimeTaxPerEpoch
+	if tax <= 0 {
+		return
+	}
+	r.Cluster.Clock.Schedule(r.Cfg.EpochInterval/2, func() {
+		if r.stopped || r.Ctr.Frozen() || r.Ctr.Stopped() {
+			return
+		}
+		r.Ctr.Freeze()
+		r.Ctr.RuntimeOverhead += tax
+		r.Cluster.Clock.Schedule(tax, func() {
+			if !r.stopped {
+				r.Ctr.Thaw()
+			}
+		})
+	})
+}
+
+// releaseOutput is called when the backup acknowledges epoch e.
+func (r *Replicator) releaseOutput(e uint64) {
+	if r.stopped {
+		return
+	}
+	r.Ctr.Qdisc.Release(e)
+}

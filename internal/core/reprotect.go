@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"nilicon/internal/container"
+	"nilicon/internal/simdisk"
+)
+
+// Reprotect resumes fault-tolerant operation after a failover: the
+// restored container (now running on the former backup host) becomes the
+// new primary, replicating to the repaired original host. The paper
+// leaves re-protection as operational practice; this implements it with
+// the same machinery: the repaired host's disk is brought up from a full
+// resync of the new primary's disk (DRBD initial sync), a fresh DRBD
+// pair is stacked under the container's file system, and a new
+// Replicator starts from an initial full checkpoint.
+//
+// The caller is responsible for the repaired host being actually usable
+// (links up, any stale processes gone — HardKill'd hosts keep their dead
+// container object, which is ignored).
+func Reprotect(old *Cluster, ctr *container.Container, cfg Config) (*Cluster, *Replicator, error) {
+	if ctr.Host != old.Backup {
+		return nil, nil, fmt.Errorf("core: reprotect expects the container on the backup host %q, got %q",
+			old.Backup.Name, ctr.Host.Name)
+	}
+	if old.ReplLink.Down() || old.AckLink.Down() {
+		return nil, nil, fmt.Errorf("core: reprotect requires the replication links to be up")
+	}
+
+	swapped := &Cluster{
+		Clock:    old.Clock,
+		Switch:   old.Switch,
+		Primary:  old.Backup,
+		Backup:   old.Primary,
+		ReplLink: old.ReplLink,
+		AckLink:  old.AckLink,
+	}
+
+	// DRBD initial synchronization: the new backup's disk starts as a
+	// copy of the new primary's (the real module ships the full device;
+	// the simulation clones it and charges the transfer to the link).
+	resync := swapped.Primary.Disk.Clone(swapped.Backup.Name + "-disk")
+	swapped.Backup.Disk = resync
+	swapped.DRBDPrimary, swapped.DRBDBackup = simdisk.NewDRBDPair(
+		swapped.Primary.Disk, swapped.Backup.Disk, swapped.ReplLink)
+	old.ReplLink.Transfer(int64(swapped.Primary.Disk.Blocks())*simdisk.BlockSize, nil)
+
+	// The container's file system now writes through the new DRBD
+	// primary end.
+	ctr.FS.SetStore(swapped.DRBDPrimary)
+
+	repl := NewReplicator(swapped, ctr, cfg)
+	return swapped, repl, nil
+}

@@ -1,0 +1,113 @@
+package criu
+
+import (
+	"testing"
+
+	"nilicon/internal/container"
+	"nilicon/internal/simkernel"
+	"nilicon/internal/simnet"
+	"nilicon/internal/simtime"
+)
+
+// BenchmarkVMACollection compares the §V-D smaps vs netlink VMA paths:
+// wall time of the engine plus the modeled virtual cost per call.
+func BenchmarkVMACollection(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		netlink bool
+	}{{"smaps", false}, {"netlink", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ctr, _ := newTestContainer()
+			addWorkProcess(ctr, "bench", 20000)
+			opts := NiLiConOptions()
+			opts.NetlinkVMA = mode.netlink
+			e := NewEngine(ctr, opts)
+			defer e.Close()
+			var virtual simtime.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats := e.Checkpoint()
+				ctr.Thaw()
+				virtual += stats.VMACollect
+			}
+			b.ReportMetric(float64(virtual.Microseconds())/float64(b.N), "virtual-µs/op")
+		})
+	}
+}
+
+// BenchmarkPageTransfer compares the pipe vs shared-memory page copy
+// paths (§V-D) on a 5000-dirty-page checkpoint.
+func BenchmarkPageTransfer(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		shared bool
+	}{{"pipe", false}, {"sharedmem", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ctr, _ := newTestContainer()
+			p, v := addWorkProcess(ctr, "bench", 10000)
+			opts := NiLiConOptions()
+			opts.SharedMemPages = mode.shared
+			e := NewEngine(ctr, opts)
+			defer e.Close()
+			_, _ = e.Checkpoint()
+			ctr.Thaw()
+			var virtual simtime.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = p.Mem.Touch(v, 0, 5000, byte(i))
+				_, stats := e.Checkpoint()
+				ctr.Thaw()
+				virtual += stats.MemCopy
+			}
+			b.ReportMetric(float64(virtual.Microseconds())/float64(b.N), "virtual-µs/op")
+		})
+	}
+}
+
+// BenchmarkIncrementalCheckpoint measures the engine's real cost per
+// incremental checkpoint at a Redis-like dirty rate.
+func BenchmarkIncrementalCheckpoint(b *testing.B) {
+	ctr, _ := newTestContainer()
+	p, v := addWorkProcess(ctr, "bench", 26000)
+	e := NewEngine(ctr, NiLiConOptions())
+	defer e.Close()
+	_, _ = e.Checkpoint()
+	ctr.Thaw()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Mem.Touch(v, (i*317)%20000, 5000, byte(i))
+		img, _ := e.Checkpoint()
+		ctr.Thaw()
+		if img.DirtyPages() == 0 {
+			b.Fatal("no dirty pages")
+		}
+	}
+}
+
+// BenchmarkRestore measures restore cost for a 100 MB-class image
+// (the Table II Redis restore path).
+func BenchmarkRestore(b *testing.B) {
+	ctr, clock := newTestContainer()
+	addWorkProcess(ctr, "bench", 25000)
+	e := NewEngine(ctr, NiLiConOptions())
+	defer e.Close()
+	img, _ := e.Checkpoint()
+	ctr.Thaw()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		backup := newBenchHost(clock)
+		m := backup.Kernel.StartMeter()
+		if _, err := Restore(backup, img, backup.Disk); err != nil {
+			b.Fatal(err)
+		}
+		virtual := m.Stop()
+		b.ReportMetric(float64(virtual.Milliseconds()), "virtual-restore-ms")
+	}
+}
+
+func newBenchHost(clock *simtime.Clock) *container.Host {
+	sw := simnet.NewSwitch(clock, 100*simtime.Microsecond, 28*simtime.Millisecond)
+	return container.NewHost("bench-backup", clock, sw)
+}
+
+var _ = simkernel.PageSize

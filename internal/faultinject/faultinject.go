@@ -1,0 +1,56 @@
+// Package faultinject emulates fail-stop faults the way the paper's
+// validation does (§VII-A): incoming and outgoing traffic on all of the
+// primary container's network interfaces is blocked (the sch_plug
+// emulation), so the container may keep executing but is invisible to
+// clients and to the backup — heartbeats stop arriving and recovery is
+// triggered. A hard-kill variant (the "unplugged network cable" plus
+// host loss) is also provided.
+package faultinject
+
+import (
+	"nilicon/internal/core"
+	"nilicon/internal/simtime"
+)
+
+// Injection records what was injected and when.
+type Injection struct {
+	At   simtime.Time
+	Kind string
+}
+
+// FailStop blocks all primary traffic: the container port, the
+// replication link, and the acknowledgment link. The container keeps
+// running (fail-stop from the outside world's perspective).
+func FailStop(r *core.Replicator) Injection {
+	r.Ctr.Disconnect()
+	r.Cluster.ReplLink.SetDown(true)
+	r.Cluster.AckLink.SetDown(true)
+	return Injection{At: r.Cluster.Clock.Now(), Kind: "fail-stop"}
+}
+
+// HardKill additionally stops the container's execution (host power
+// loss).
+func HardKill(r *core.Replicator) Injection {
+	inj := FailStop(r)
+	r.Ctr.Stop()
+	inj.Kind = "hard-kill"
+	return inj
+}
+
+// Schedule arranges an injection at a uniformly random time within the
+// middle 80% of a run of the given length, as in the paper's validation
+// methodology. It returns the chosen time.
+func Schedule(r *core.Replicator, runLength simtime.Duration, seed int64, inject func(*core.Replicator) Injection, done func(Injection)) simtime.Time {
+	rng := simtime.NewRand(seed)
+	lo := int64(runLength) / 10
+	span := int64(runLength) * 8 / 10
+	at := simtime.Duration(lo + rng.Int63n(span))
+	when := r.Cluster.Clock.Now().Add(at)
+	r.Cluster.Clock.Schedule(at, func() {
+		inj := inject(r)
+		if done != nil {
+			done(inj)
+		}
+	})
+	return when
+}

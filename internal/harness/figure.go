@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderFigure3 draws the Figure 3 bar chart as text: for each benchmark
+// a pair of horizontal bars (MC above NiLiCon), each split into its
+// stopped-overhead and runtime-overhead components, like the paper's
+// stacked columns.
+func RenderFigure3(rows []Fig3Row) string {
+	const width = 50 // characters for 100% overhead
+	var b strings.Builder
+	b.WriteString("Figure 3: performance overhead (█ stopped, ░ runtime)\n\n")
+	maxName := 0
+	for _, r := range rows {
+		if len(r.Bench) > maxName {
+			maxName = len(r.Bench)
+		}
+	}
+	bar := func(label string, overhead, stopFrac, runtimeFrac float64) {
+		total := overhead
+		if total < 0 {
+			total = 0
+		}
+		// Split the bar proportionally to the measured stop/runtime
+		// shares; residual (measurement noise, buffering effects) uses
+		// the stop glyph.
+		den := stopFrac + runtimeFrac
+		stopPart := total
+		runPart := 0.0
+		if den > 0 {
+			stopPart = total * stopFrac / den
+			runPart = total * runtimeFrac / den
+		}
+		nStop := int(stopPart*width + 0.5)
+		nRun := int(runPart*width + 0.5)
+		fmt.Fprintf(&b, "  %-8s |%s%s %.2f%%\n", label,
+			strings.Repeat("█", nStop), strings.Repeat("░", nRun), overhead*100)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s\n", maxName, r.Bench)
+		bar("MC", r.MCOverhead, r.MCStopFrac, r.MCRuntimeFrac)
+		bar("NiLiCon", r.NLOverhead, r.NLStopFrac, r.NLRuntimeFrac)
+	}
+	return b.String()
+}

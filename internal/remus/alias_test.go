@@ -1,0 +1,6 @@
+package remus
+
+import "nilicon/internal/container"
+
+// containerAlias keeps test signatures short.
+type containerAlias = container.Container

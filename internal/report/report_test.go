@@ -1,0 +1,66 @@
+package report
+
+import (
+	"testing"
+
+	"nilicon/internal/workloads"
+)
+
+// TestPaperValuesCoverAllBenchmarks guards the transcription tables: a
+// renamed benchmark must not silently drop out of the report.
+func TestPaperValuesCoverAllBenchmarks(t *testing.T) {
+	for _, name := range workloads.BenchmarkNames() {
+		for label, m := range map[string]map[string]float64{
+			"fig3-mc": paperFig3MC, "fig3-nl": paperFig3NL,
+			"stop-mc": paperStopMC, "stop-nl": paperStopNL,
+			"dirty-mc": paperDirtyMC, "dirty-nl": paperDirtyNL,
+			"active": paperActive, "backup": paperBackup,
+		} {
+			if _, ok := m[name]; !ok {
+				t.Errorf("paper table %s missing %s", label, name)
+			}
+		}
+	}
+	if len(paperTable1) != 7 {
+		t.Errorf("table1 ladder has %d rows, want 7", len(paperTable1))
+	}
+	for _, b := range []string{"net", "redis"} {
+		if _, ok := paperTable2[b]; !ok {
+			t.Errorf("table2 missing %s", b)
+		}
+	}
+	for _, b := range []string{"redis", "ssdb", "node", "lighttpd", "djcms"} {
+		if _, ok := paperTable6[b]; !ok {
+			t.Errorf("table6 missing %s", b)
+		}
+	}
+}
+
+// TestPaperValuesInternallyConsistent sanity-checks the transcription
+// against relations stated in the paper's text.
+func TestPaperValuesInternallyConsistent(t *testing.T) {
+	// §I: overhead range 19%-67% for NiLiCon.
+	for b, v := range paperFig3NL {
+		if v < 0.19 || v > 0.68 {
+			t.Errorf("paper NiLiCon overhead for %s = %v outside the abstract's 19-67%% range", b, v)
+		}
+	}
+	// Table III: NiLiCon stop times always exceed MC's.
+	for b := range paperStopNL {
+		if paperStopNL[b] <= paperStopMC[b] {
+			t.Errorf("%s: paper stop NL %v ≤ MC %v", b, paperStopNL[b], paperStopMC[b])
+		}
+	}
+	// Table V: backup always far below active.
+	for b := range paperBackup {
+		if paperBackup[b] >= paperActive[b] {
+			t.Errorf("%s: backup %v ≥ active %v", b, paperBackup[b], paperActive[b])
+		}
+	}
+	// Table II totals equal their components.
+	for b, p := range paperTable2 {
+		if p[0]+p[1]+p[2]+p[3] != p[4] {
+			t.Errorf("%s: table2 components sum to %v, total %v", b, p[0]+p[1]+p[2]+p[3], p[4])
+		}
+	}
+}

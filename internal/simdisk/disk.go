@@ -1,0 +1,101 @@
+// Package simdisk provides the simulated block devices and the
+// DRBD-style disk replication NiLiCon uses (§II-A, §IV): the primary and
+// backup have separate disks with initially identical content; during
+// each epoch the primary applies writes locally and ships them
+// asynchronously to the backup, which buffers them in memory; a barrier
+// marks the end of an epoch's writes; the backup applies an epoch's
+// writes only after the corresponding container state is committed, and
+// discards uncommitted writes on failover.
+package simdisk
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// BlockSize is the device block size in bytes.
+const BlockSize = 4096
+
+// Disk is one host's block device.
+type Disk struct {
+	Name   string
+	blocks map[uint64][]byte
+	reads  int64
+	writes int64
+}
+
+// NewDisk creates an empty disk.
+func NewDisk(name string) *Disk {
+	return &Disk{Name: name, blocks: make(map[uint64][]byte)}
+}
+
+// WriteBlock stores data at block bn. Data longer than BlockSize is an
+// error; shorter data is zero-padded.
+func (d *Disk) WriteBlock(bn uint64, data []byte) error {
+	if len(data) > BlockSize {
+		return fmt.Errorf("simdisk: write of %d bytes exceeds block size", len(data))
+	}
+	b := make([]byte, BlockSize)
+	copy(b, data)
+	d.blocks[bn] = b
+	d.writes++
+	return nil
+}
+
+// ReadBlock returns the content of block bn (all zeros if never written).
+// The returned slice is a copy.
+func (d *Disk) ReadBlock(bn uint64) []byte {
+	d.reads++
+	out := make([]byte, BlockSize)
+	if b, ok := d.blocks[bn]; ok {
+		copy(out, b)
+	}
+	return out
+}
+
+// Blocks returns the number of blocks ever written.
+func (d *Disk) Blocks() int { return len(d.blocks) }
+
+// Reads and Writes return operation counters.
+func (d *Disk) Reads() int64  { return d.reads }
+func (d *Disk) Writes() int64 { return d.writes }
+
+// Checksum returns a digest over all written blocks; two disks with the
+// same logical content have equal checksums.
+func (d *Disk) Checksum() [32]byte {
+	bns := make([]uint64, 0, len(d.blocks))
+	for bn := range d.blocks {
+		bns = append(bns, bn)
+	}
+	sort.Slice(bns, func(i, j int) bool { return bns[i] < bns[j] })
+	h := sha256.New()
+	var num [8]byte
+	zero := make([]byte, BlockSize)
+	for _, bn := range bns {
+		// Skip all-zero blocks so a never-written block and an
+		// explicitly zeroed block compare equal.
+		if string(d.blocks[bn]) == string(zero) {
+			continue
+		}
+		binary.LittleEndian.PutUint64(num[:], bn)
+		h.Write(num[:])
+		h.Write(d.blocks[bn])
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Clone returns a deep copy (used to give primary and backup identical
+// initial content).
+func (d *Disk) Clone(name string) *Disk {
+	nd := NewDisk(name)
+	for bn, b := range d.blocks {
+		nb := make([]byte, BlockSize)
+		copy(nb, b)
+		nd.blocks[bn] = nb
+	}
+	return nd
+}

@@ -1,0 +1,257 @@
+package simdisk
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"nilicon/internal/simnet"
+	"nilicon/internal/simtime"
+)
+
+func TestDiskReadWrite(t *testing.T) {
+	d := NewDisk("sda")
+	if err := d.WriteBlock(7, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got := d.ReadBlock(7)
+	if string(got[:5]) != "hello" {
+		t.Fatalf("read back %q", got[:5])
+	}
+	if len(got) != BlockSize {
+		t.Fatalf("block len = %d", len(got))
+	}
+	if d.Writes() != 1 || d.Reads() != 1 {
+		t.Fatalf("counters: w=%d r=%d", d.Writes(), d.Reads())
+	}
+}
+
+func TestDiskUnwrittenBlockIsZero(t *testing.T) {
+	d := NewDisk("sda")
+	b := d.ReadBlock(99)
+	for _, x := range b {
+		if x != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+}
+
+func TestDiskOversizeWriteFails(t *testing.T) {
+	d := NewDisk("sda")
+	if err := d.WriteBlock(0, make([]byte, BlockSize+1)); err == nil {
+		t.Fatal("oversize write accepted")
+	}
+}
+
+func TestDiskReadIsCopy(t *testing.T) {
+	d := NewDisk("sda")
+	_ = d.WriteBlock(0, []byte{1})
+	b := d.ReadBlock(0)
+	b[0] = 99
+	if d.ReadBlock(0)[0] != 1 {
+		t.Fatal("ReadBlock aliases storage")
+	}
+}
+
+func TestChecksumEqualForEqualContent(t *testing.T) {
+	a, b := NewDisk("a"), NewDisk("b")
+	_ = a.WriteBlock(1, []byte("x"))
+	_ = a.WriteBlock(5, []byte("y"))
+	_ = b.WriteBlock(5, []byte("y"))
+	_ = b.WriteBlock(1, []byte("x"))
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("same content, different checksum")
+	}
+	_ = b.WriteBlock(1, []byte("z"))
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("different content, same checksum")
+	}
+}
+
+func TestChecksumIgnoresZeroBlocks(t *testing.T) {
+	a, b := NewDisk("a"), NewDisk("b")
+	_ = a.WriteBlock(3, []byte("data"))
+	_ = b.WriteBlock(3, []byte("data"))
+	_ = b.WriteBlock(9, make([]byte, BlockSize)) // explicit zeros
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("explicit zero block changed checksum")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := NewDisk("a")
+	_ = a.WriteBlock(2, []byte("orig"))
+	b := a.Clone("b")
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("clone differs")
+	}
+	_ = b.WriteBlock(2, []byte("mut"))
+	if string(a.ReadBlock(2)[:4]) != "orig" {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func newDRBDPair(c *simtime.Clock) (*DRBD, *DRBD, *simnet.Link) {
+	link := simnet.NewLink(c, 50*simtime.Microsecond, 1_250_000_000)
+	p, s := NewDRBDPair(NewDisk("p"), NewDisk("b"), link)
+	return p, s, link
+}
+
+func TestDRBDWriteAppliesLocallyImmediately(t *testing.T) {
+	c := simtime.NewClock()
+	p, _, _ := newDRBDPair(c)
+	if err := p.WriteBlock(1, []byte("now")); err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Local.ReadBlock(1)[:3]) != "now" {
+		t.Fatal("local write not applied")
+	}
+}
+
+func TestDRBDSecondaryBuffersUntilCommit(t *testing.T) {
+	c := simtime.NewClock()
+	p, s, _ := newDRBDPair(c)
+	p.SetEpoch(0)
+	_ = p.WriteBlock(1, []byte("e0"))
+	p.Barrier(0)
+	c.Run()
+	if s.Buffered() != 1 {
+		t.Fatalf("buffered = %d", s.Buffered())
+	}
+	if !s.BarrierReceived(0) {
+		t.Fatal("barrier not received")
+	}
+	// Not yet on disk.
+	if string(s.Local.ReadBlock(1)[:2]) == "e0" {
+		t.Fatal("write applied before commit")
+	}
+	if err := s.Commit(0); err != nil {
+		t.Fatal(err)
+	}
+	if string(s.Local.ReadBlock(1)[:2]) != "e0" {
+		t.Fatal("commit did not apply")
+	}
+	if s.Buffered() != 0 {
+		t.Fatal("buffer not drained")
+	}
+}
+
+func TestDRBDCommitOnlyUpToEpoch(t *testing.T) {
+	c := simtime.NewClock()
+	p, s, _ := newDRBDPair(c)
+	p.SetEpoch(0)
+	_ = p.WriteBlock(1, []byte("a"))
+	p.Barrier(0)
+	p.SetEpoch(1)
+	_ = p.WriteBlock(2, []byte("b"))
+	p.Barrier(1)
+	c.Run()
+	_ = s.Commit(0)
+	if string(s.Local.ReadBlock(1)[:1]) != "a" {
+		t.Fatal("epoch 0 not committed")
+	}
+	if string(s.Local.ReadBlock(2)[:1]) == "b" {
+		t.Fatal("epoch 1 committed early")
+	}
+	if s.Buffered() != 1 {
+		t.Fatalf("buffered = %d, want epoch-1 write retained", s.Buffered())
+	}
+	if s.Committed() != 0 {
+		t.Fatalf("Committed = %d", s.Committed())
+	}
+}
+
+func TestDRBDDiscardAbove(t *testing.T) {
+	c := simtime.NewClock()
+	p, s, _ := newDRBDPair(c)
+	p.SetEpoch(0)
+	_ = p.WriteBlock(1, []byte("keep"))
+	p.SetEpoch(1)
+	_ = p.WriteBlock(2, []byte("drop"))
+	c.Run()
+	s.DiscardAbove(0)
+	_ = s.Commit(99)
+	if string(s.Local.ReadBlock(1)[:4]) != "keep" {
+		t.Fatal("committed epoch lost")
+	}
+	var zero [4]byte
+	if !bytes.Equal(s.Local.ReadBlock(2)[:4], zero[:]) {
+		t.Fatal("uncommitted epoch survived discard")
+	}
+}
+
+func TestDRBDRoleEnforcement(t *testing.T) {
+	c := simtime.NewClock()
+	p, s, _ := newDRBDPair(c)
+	if err := s.WriteBlock(0, []byte("x")); err == nil {
+		t.Fatal("secondary write accepted")
+	}
+	if err := p.Commit(0); err == nil {
+		t.Fatal("primary commit accepted")
+	}
+}
+
+func TestDRBDBarrierCallback(t *testing.T) {
+	c := simtime.NewClock()
+	p, s, _ := newDRBDPair(c)
+	var got []uint64
+	s.OnBarrier = func(e uint64) { got = append(got, e) }
+	p.SetEpoch(0)
+	_ = p.WriteBlock(1, []byte("x"))
+	p.Barrier(0)
+	p.SetEpoch(1)
+	p.Barrier(1)
+	c.Run()
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("barrier callbacks = %v", got)
+	}
+}
+
+func TestDRBDWriteIsDeepCopied(t *testing.T) {
+	c := simtime.NewClock()
+	p, s, _ := newDRBDPair(c)
+	buf := []byte("mutable")
+	_ = p.WriteBlock(1, buf)
+	buf[0] = 'X'
+	c.Run()
+	_ = s.Commit(0)
+	if string(s.Local.ReadBlock(1)[:7]) != "mutable" {
+		t.Fatal("DRBD shipped an aliased buffer")
+	}
+}
+
+// Property: after shipping arbitrary writes with barriers and committing
+// every epoch, primary and backup disks are identical; discarding the
+// final uncommitted epoch leaves the backup identical to the primary as
+// of the last barrier.
+func TestPropertyDRBDConvergence(t *testing.T) {
+	f := func(ops []struct {
+		Block uint8
+		Val   byte
+		Cut   bool // start a new epoch after this op
+	}) bool {
+		c := simtime.NewClock()
+		p, s, _ := newDRBDPair(c)
+		epoch := uint64(0)
+		p.SetEpoch(0)
+		for _, op := range ops {
+			if err := p.WriteBlock(uint64(op.Block), []byte{op.Val}); err != nil {
+				return false
+			}
+			if op.Cut {
+				p.Barrier(epoch)
+				epoch++
+				p.SetEpoch(epoch)
+			}
+		}
+		p.Barrier(epoch)
+		c.Run()
+		if err := s.Commit(epoch); err != nil {
+			return false
+		}
+		return p.Local.Checksum() == s.Local.Checksum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

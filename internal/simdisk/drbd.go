@@ -1,0 +1,177 @@
+package simdisk
+
+import (
+	"fmt"
+
+	"nilicon/internal/simnet"
+)
+
+// WriteOp is one replicated block write, tagged with the epoch it
+// belongs to.
+type WriteOp struct {
+	Block uint64
+	Data  []byte
+	Epoch uint64
+}
+
+// DRBDRole distinguishes the two ends.
+type DRBDRole int
+
+// Roles.
+const (
+	RolePrimary DRBDRole = iota
+	RoleSecondary
+)
+
+// DRBD is the modified DRBD module (RemusXen's changes ported to
+// mainline DRBD, §IV). The primary end applies writes to its local disk
+// and ships them asynchronously over the replication link; the secondary
+// buffers them in memory, signals barrier arrival, and commits or
+// discards on request.
+type DRBD struct {
+	Role  DRBDRole
+	Local *Disk
+
+	link *simnet.Link
+	peer *DRBD
+
+	epoch uint64 // primary: epoch tag for new writes
+
+	// Secondary state.
+	buffer []WriteOp
+	// lastBarrier is the highest epoch whose barrier has arrived: all of
+	// that epoch's writes are in the buffer.
+	lastBarrier uint64
+	hasBarrier  bool
+	// committed is the highest epoch applied to the local disk.
+	committed uint64
+
+	// OnBarrier, if set on the secondary, fires when an epoch's barrier
+	// arrives (the backup agent needs "all disk writes received" before
+	// acknowledging a checkpoint, §IV).
+	OnBarrier func(epoch uint64)
+}
+
+// NewDRBDPair wires a primary/secondary pair over the replication link.
+func NewDRBDPair(primaryDisk, backupDisk *Disk, link *simnet.Link) (*DRBD, *DRBD) {
+	p := &DRBD{Role: RolePrimary, Local: primaryDisk, link: link}
+	s := &DRBD{Role: RoleSecondary, Local: backupDisk, link: link}
+	p.peer = s
+	s.peer = p
+	return p, s
+}
+
+// SetEpoch sets the epoch tag for subsequent primary writes.
+func (d *DRBD) SetEpoch(e uint64) { d.epoch = e }
+
+// WriteBlock applies a block write locally and ships it to the
+// secondary. Only the primary may write. DRBD thereby satisfies
+// simfs.BlockStore, so a container file system can sit directly on it.
+func (d *DRBD) WriteBlock(bn uint64, data []byte) error {
+	if d.Role != RolePrimary {
+		return fmt.Errorf("simdisk: write on %v end", d.Role)
+	}
+	if err := d.Local.WriteBlock(bn, data); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	op := WriteOp{Block: bn, Data: cp, Epoch: d.epoch}
+	peer := d.peer
+	if peer != nil && d.link != nil {
+		d.link.Transfer(int64(len(data)+24), func() { peer.receiveWrite(op) })
+	}
+	return nil
+}
+
+// ReadBlock reads from the local disk (reads are processed normally,
+// §II-A).
+func (d *DRBD) ReadBlock(bn uint64) []byte { return d.Local.ReadBlock(bn) }
+
+// Barrier marks the end of epoch e's writes and ships the marker.
+func (d *DRBD) Barrier(e uint64) {
+	if d.Role != RolePrimary {
+		panic("simdisk: barrier on secondary")
+	}
+	peer := d.peer
+	if peer != nil && d.link != nil {
+		d.link.Transfer(24, func() { peer.receiveBarrier(e) })
+	}
+}
+
+func (d *DRBD) receiveWrite(op WriteOp) { d.buffer = append(d.buffer, op) }
+
+func (d *DRBD) receiveBarrier(e uint64) {
+	d.lastBarrier = e
+	d.hasBarrier = true
+	if d.OnBarrier != nil {
+		d.OnBarrier(e)
+	}
+}
+
+// BarrierReceived reports whether epoch e's barrier (and hence all of
+// its writes — the link is FIFO) has arrived.
+func (d *DRBD) BarrierReceived(e uint64) bool {
+	return d.hasBarrier && d.lastBarrier >= e
+}
+
+// Buffered returns the number of buffered write operations.
+func (d *DRBD) Buffered() int { return len(d.buffer) }
+
+// Commit applies all buffered writes with epoch <= e to the local disk,
+// in arrival order. The secondary calls this once the corresponding
+// container state is committed (§II-A: epoch k's writes are applied
+// during epoch k+1).
+func (d *DRBD) Commit(e uint64) error {
+	if d.Role != RoleSecondary {
+		return fmt.Errorf("simdisk: commit on primary end")
+	}
+	rest := d.buffer[:0]
+	for _, op := range d.buffer {
+		if op.Epoch <= e {
+			if err := d.Local.WriteBlock(op.Block, op.Data); err != nil {
+				return err
+			}
+			if op.Epoch > d.committed {
+				d.committed = op.Epoch
+			}
+		} else {
+			rest = append(rest, op)
+		}
+	}
+	d.buffer = append([]WriteOp(nil), rest...)
+	return nil
+}
+
+// DiscardAbove drops buffered writes with epoch > e; on failover the
+// backup discards the writes of any epoch whose container state was not
+// committed.
+func (d *DRBD) DiscardAbove(e uint64) {
+	rest := d.buffer[:0]
+	for _, op := range d.buffer {
+		if op.Epoch <= e {
+			rest = append(rest, op)
+		}
+	}
+	d.buffer = append([]WriteOp(nil), rest...)
+}
+
+// Committed returns the highest epoch applied to the local disk.
+func (d *DRBD) Committed() uint64 { return d.committed }
+
+// Promote turns a secondary into a standalone primary during failover:
+// the restored container's file system writes to the (previously
+// backup) disk directly. Any still-buffered writes must be committed or
+// discarded before promotion.
+func (d *DRBD) Promote() error {
+	if d.Role != RoleSecondary {
+		return fmt.Errorf("simdisk: promote on %v end", d.Role)
+	}
+	if len(d.buffer) != 0 {
+		return fmt.Errorf("simdisk: promote with %d uncommitted writes buffered", len(d.buffer))
+	}
+	d.Role = RolePrimary
+	d.peer = nil
+	d.link = nil
+	return nil
+}

@@ -1,0 +1,102 @@
+package simkernel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmapsTextRendersAllVMAs(t *testing.T) {
+	k := newTestKernel()
+	p := k.NewProcess("app", "")
+	v := p.Mem.Mmap(8*PageSize, ProtRead|ProtWrite, "", p.PID, "")
+	_ = p.Mem.Touch(v, 0, 3, 1)
+	p.Mem.Mmap(4*PageSize, ProtRead|ProtExec, "/lib/libc.so", p.PID, "")
+	text := k.SmapsText(p)
+	if !strings.Contains(text, "/lib/libc.so") {
+		t.Fatal("mapped file missing from smaps text")
+	}
+	if !strings.Contains(text, "rw-p") || !strings.Contains(text, "r-xp") {
+		t.Fatalf("permissions missing:\n%s", text)
+	}
+	if !strings.Contains(text, "Rss:") || !strings.Contains(text, "Private_Dirty:") {
+		t.Fatal("page statistics missing")
+	}
+}
+
+func TestSmapsRoundTrip(t *testing.T) {
+	k := newTestKernel()
+	p := k.NewProcess("app", "")
+	v := p.Mem.Mmap(16*PageSize, ProtRead|ProtWrite, "", p.PID, "")
+	_ = p.Mem.Touch(v, 0, 5, 1)
+	p.Mem.Mmap(4*PageSize, ProtRead|ProtExec, "/lib/ld.so", p.PID, "")
+
+	parsed, err := ParseSmaps(k.SmapsText(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := k.TaskDiagVMAs(p)
+	if len(parsed) != len(want) {
+		t.Fatalf("parsed %d VMAs, want %d", len(parsed), len(want))
+	}
+	for i := range want {
+		if parsed[i].Start != want[i].Start || parsed[i].End != want[i].End ||
+			parsed[i].Prot != want[i].Prot || parsed[i].Path != want[i].Path {
+			t.Fatalf("VMA %d mismatch: %+v vs %+v", i, parsed[i], want[i])
+		}
+	}
+	if parsed[0].ResidentPages != 5 || parsed[0].DirtyPages != 5 {
+		t.Fatalf("page stats: %+v", parsed[0])
+	}
+}
+
+func TestParseSmapsRejectsGarbage(t *testing.T) {
+	if _, err := ParseSmaps("zzzz-yyyy rw-p 0 0 0\n"); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+	if _, err := ParseSmaps("00000000-00001000 rw-p 00000000 00:00 0 \nRss: nonsense\n"); err == nil {
+		t.Fatal("garbage stat line accepted")
+	}
+}
+
+// Property: for any random set of mappings, render→parse preserves the
+// VMA list exactly.
+func TestPropertySmapsRoundTrip(t *testing.T) {
+	f := func(sizes []uint8, protBits []uint8) bool {
+		k := newTestKernel()
+		p := k.NewProcess("prop", "")
+		n := len(sizes)
+		if n > 20 {
+			n = 20
+		}
+		for i := 0; i < n; i++ {
+			prot := Prot(1) // always readable
+			if i < len(protBits) {
+				prot |= Prot(protBits[i]) & (ProtWrite | ProtExec)
+			}
+			path := ""
+			if i%3 == 0 {
+				path = "/lib/x.so"
+			}
+			p.Mem.Mmap(uint64(sizes[i]%16+1)*PageSize, prot, path, p.PID, "")
+		}
+		parsed, err := ParseSmaps(k.SmapsText(p))
+		if err != nil {
+			return false
+		}
+		want := k.TaskDiagVMAs(p)
+		if len(parsed) != len(want) {
+			return false
+		}
+		for i := range want {
+			if parsed[i].Start != want[i].Start || parsed[i].End != want[i].End ||
+				parsed[i].Prot != want[i].Prot || parsed[i].Path != want[i].Path {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

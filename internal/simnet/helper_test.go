@@ -1,0 +1,10 @@
+package simnet
+
+import (
+	"nilicon/internal/simkernel"
+	"nilicon/internal/simtime"
+)
+
+func newNetTestKernel() *simkernel.Kernel {
+	return simkernel.NewKernel(simtime.NewClock())
+}

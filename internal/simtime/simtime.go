@@ -1,0 +1,244 @@
+// Package simtime provides the virtual clock and event queue that drive
+// the entire NiLiCon simulation.
+//
+// All simulated activity — container execution, packet delivery, disk
+// writes, checkpoint state collection — is expressed as events on a
+// single Clock. The simulation is therefore deterministic: events fire in
+// (time, insertion order) sequence, and the only source of randomness is
+// explicitly seeded generators (see NewRand).
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration re-exports time.Duration; all simulated latencies use it so
+// call sites read naturally (e.g. 30*time.Millisecond).
+type Duration = time.Duration
+
+// Common duration constants re-exported for convenience.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// Event is a scheduled callback. It is returned by Schedule so callers
+// can cancel it before it fires.
+type Event struct {
+	when   Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 when not queued
+	cancel bool
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.cancel }
+
+// When returns the virtual time at which the event fires (or would have
+// fired, if canceled).
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents the event from firing. Canceling an event that already
+// fired is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// eventHeap orders events by (when, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is the virtual clock and event queue. The zero value is not
+// usable; create one with NewClock.
+type Clock struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+}
+
+// NewClock returns a clock at virtual time zero with an empty queue.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Pending returns the number of events still queued (including canceled
+// ones that have not been drained).
+func (c *Clock) Pending() int { return len(c.pq) }
+
+// Schedule queues fn to run after delay d. A negative delay is treated as
+// zero. The returned Event may be canceled.
+func (c *Clock) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return c.ScheduleAt(c.now.Add(d), fn)
+}
+
+// ScheduleAt queues fn to run at absolute virtual time t. Times in the
+// past are clamped to now: the simulation never moves backward.
+func (c *Clock) ScheduleAt(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("simtime: ScheduleAt with nil function")
+	}
+	if t < c.now {
+		t = c.now
+	}
+	e := &Event{when: t, seq: c.seq, fn: fn, index: -1}
+	c.seq++
+	heap.Push(&c.pq, e)
+	return e
+}
+
+// Step fires the next event, advancing the clock to its time. It returns
+// false when the queue is empty. Canceled events are skipped (but still
+// advance nothing).
+func (c *Clock) Step() bool {
+	for len(c.pq) > 0 {
+		e := heap.Pop(&c.pq).(*Event)
+		if e.cancel {
+			continue
+		}
+		c.now = e.when
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (c *Clock) Run() {
+	c.stopped = false
+	for !c.stopped && c.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then sets the clock to t. Events
+// scheduled after t remain queued.
+func (c *Clock) RunUntil(t Time) {
+	c.stopped = false
+	for !c.stopped {
+		if len(c.pq) == 0 {
+			break
+		}
+		// Peek at the earliest non-canceled event.
+		next := c.pq[0]
+		if next.cancel {
+			heap.Pop(&c.pq)
+			continue
+		}
+		if next.when > t {
+			break
+		}
+		c.Step()
+	}
+	if c.now < t {
+		c.now = t
+	}
+}
+
+// RunFor is shorthand for RunUntil(Now().Add(d)).
+func (c *Clock) RunFor(d Duration) { c.RunUntil(c.now.Add(d)) }
+
+// Stop makes a Run/RunUntil in progress return after the current event.
+func (c *Clock) Stop() { c.stopped = true }
+
+// Sleeper is a convenience for code that wants to model a busy/blocked
+// interval: it schedules fn after d and returns the event.
+func (c *Clock) Sleeper(d Duration, fn func()) *Event { return c.Schedule(d, fn) }
+
+// NewRand returns a deterministic random generator for the given seed.
+// All simulation randomness must come from seeded generators so that
+// experiments are exactly reproducible.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Ticker repeatedly invokes a callback at a fixed period until stopped.
+type Ticker struct {
+	clock  *Clock
+	period Duration
+	fn     func()
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker starts a ticker that calls fn every period, with the first
+// call one period from now.
+func NewTicker(c *Clock, period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive ticker period %v", period))
+	}
+	t := &Ticker{clock: c, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.clock.Schedule(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn()
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

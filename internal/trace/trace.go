@@ -1,0 +1,63 @@
+// Package trace records per-epoch time series of a replicated run: stop
+// time, its components, transferred state size and dirty pages. The
+// paper's Table IV observation — that NiLiCon's impact "can vary
+// significantly over time (e.g., due to stop time for streamcluster,
+// state size for DJCMS)" — is directly visible in these series;
+// `niliconctl timeline` emits them as CSV for plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"nilicon/internal/simtime"
+)
+
+// EpochRecord is one checkpoint's measurements.
+type EpochRecord struct {
+	Epoch      uint64
+	At         simtime.Time
+	Stop       simtime.Duration
+	FreezeWait simtime.Duration
+	MemCopy    simtime.Duration
+	SockColl   simtime.Duration
+	StateBytes int64
+	DirtyPages int
+}
+
+// Timeline accumulates epoch records.
+type Timeline struct {
+	records []EpochRecord
+}
+
+// Record appends one epoch.
+func (tl *Timeline) Record(r EpochRecord) { tl.records = append(tl.records, r) }
+
+// Len returns the number of recorded epochs.
+func (tl *Timeline) Len() int { return len(tl.records) }
+
+// Records returns the recorded series (shared slice; do not mutate).
+func (tl *Timeline) Records() []EpochRecord { return tl.records }
+
+// WriteCSV emits the series with a header row. Durations are in
+// microseconds, the timestamp in milliseconds.
+func (tl *Timeline) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages"); err != nil {
+		return err
+	}
+	for _, r := range tl.records {
+		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%d,%d\n",
+			r.Epoch,
+			float64(r.At)/1e6,
+			r.Stop.Microseconds(),
+			r.FreezeWait.Microseconds(),
+			r.MemCopy.Microseconds(),
+			r.SockColl.Microseconds(),
+			r.StateBytes,
+			r.DirtyPages)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"nilicon/internal/simtime"
+)
+
+func TestTimelineCSV(t *testing.T) {
+	var tl Timeline
+	tl.Record(EpochRecord{
+		Epoch: 1, At: simtime.Time(64 * simtime.Millisecond),
+		Stop: 5 * simtime.Millisecond, FreezeWait: 100 * simtime.Microsecond,
+		MemCopy: 300 * simtime.Microsecond, SockColl: 200 * simtime.Microsecond,
+		StateBytes: 1 << 20, DirtyPages: 250,
+	})
+	tl.Record(EpochRecord{Epoch: 2, At: simtime.Time(128 * simtime.Millisecond)})
+	var b strings.Builder
+	if err := tl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "epoch,at_ms,stop_us") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,64.000,5000,100,300,200,1048576,250" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if tl.Len() != 2 {
+		t.Fatalf("Len = %d", tl.Len())
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var tl Timeline
+	var b strings.Builder
+	if err := tl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "epoch,") {
+		t.Fatal("header missing on empty timeline")
+	}
+}

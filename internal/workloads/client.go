@@ -1,0 +1,297 @@
+package workloads
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"nilicon/internal/core"
+	"nilicon/internal/metrics"
+	"nilicon/internal/simnet"
+	"nilicon/internal/simtime"
+)
+
+// ClientKind selects the driving pattern.
+type ClientKind int
+
+// Client kinds.
+const (
+	// KVBatch is the paper's custom Redis/SSDB client: batches of
+	// BatchSize requests, 50% reads / 50% writes, YCSB-style keyspace.
+	KVBatch ClientKind = iota
+	// WebLoop is a SIEGE-style closed-loop client: one request
+	// outstanding, immediately re-issued.
+	WebLoop
+	// EchoLoop sends random-size echo payloads and verifies them.
+	EchoLoop
+	// KVProbe sends a single get or set at a time (the recovery-latency
+	// probe clients of §VII-B).
+	KVProbe
+)
+
+// outstanding tracks one in-flight request and its expected reply.
+type outstanding struct {
+	op       byte
+	sentAt   simtime.Time
+	expected []byte // nil → don't verify content
+	key      uint64
+}
+
+// Client is one closed-loop load generator.
+type Client struct {
+	set  *ClientSet
+	kind ClientKind
+	id   int
+	rng  *rand.Rand
+	zipf *rand.Zipf
+
+	stack *simnet.Stack
+	sock  *simnet.Socket
+	fr    FrameReader
+
+	inflight  []outstanding
+	respCount int
+
+	// versions tracks the last value version written per key, in stream
+	// order, to derive the expected value of subsequent reads.
+	versions map[uint64]uint32
+
+	echoMax int
+}
+
+// ClientSet aggregates a benchmark's clients.
+type ClientSet struct {
+	cl        *core.Cluster
+	prof      Profile
+	serverIP  simnet.Addr
+	Clients   []*Client
+	Completed int64
+	Errors    []string
+	Resets    int
+	Latencies metrics.Stream // seconds, per request (per batch for KVBatch)
+
+	// windowStart/windowCount implement throughput windows.
+	windowStart simtime.Time
+	windowCount int64
+}
+
+// NewClientSet starts n clients of the given kind against serverIP.
+func NewClientSet(cl *core.Cluster, prof Profile, serverIP simnet.Addr, kind ClientKind, n int, seed int64) *ClientSet {
+	set := &ClientSet{cl: cl, prof: prof, serverIP: serverIP}
+	for i := 0; i < n; i++ {
+		c := &Client{
+			set:      set,
+			kind:     kind,
+			id:       i,
+			rng:      simtime.NewRand(seed + int64(i)*7919),
+			versions: make(map[uint64]uint32),
+			echoMax:  256 << 10,
+		}
+		if prof.EchoMaxBytes > 0 {
+			c.echoMax = prof.EchoMaxBytes
+		}
+		c.stack = cl.NewClient(simnet.Addr(fmt.Sprintf("10.1.%d.%d", i/250, i%250+1)))
+		set.Clients = append(set.Clients, c)
+		c.connect()
+	}
+	return set
+}
+
+func (c *Client) connect() {
+	c.stack.Connect(c.set.serverIP, c.set.prof.Port, func(s *simnet.Socket) {
+		c.sock = s
+		s.OnData = c.onData
+		s.OnReset = func(*simnet.Socket) { c.set.Resets++ }
+		if c.kind == KVBatch {
+			depth := c.set.prof.PipelineDepth
+			if depth <= 0 {
+				depth = 1
+			}
+			for i := 0; i < depth; i++ {
+				c.issue()
+			}
+			return
+		}
+		c.issue()
+	})
+}
+
+// randKey draws a key from the client's private stripe of the keyspace.
+// KV writers must not share keys: the server stores the last write, so
+// a reader that did not issue it could not predict the content. Batched
+// clients own the lower half of the keyspace, probe clients the upper
+// half, each striped by client index. (The preloader writes version 1
+// of every key, which clients simply never verify against.)
+func (c *Client) randKey() uint64 {
+	rec := max(1, c.set.prof.Records)
+	half := rec / 2
+	n := len(c.set.Clients)
+	if n < 1 {
+		n = 1
+	}
+	var lo, stripe int
+	switch c.kind {
+	case KVProbe:
+		stripe = (rec - half) / n
+		if stripe < 1 {
+			stripe = 1
+		}
+		lo = half + c.id%n*stripe
+	default:
+		stripe = half / n
+		if stripe < 1 {
+			stripe = 1
+		}
+		lo = c.id % n * stripe
+	}
+	if c.set.prof.ZipfianKeys {
+		if c.zipf == nil {
+			// YCSB-style skew: a handful of hot keys dominate.
+			c.zipf = rand.NewZipf(c.rng, 1.1, 1, uint64(stripe-1))
+		}
+		return uint64(lo) + c.zipf.Uint64()
+	}
+	return uint64(lo + c.rng.Intn(stripe))
+}
+
+// issue sends the next request(s) according to the client kind.
+func (c *Client) issue() {
+	switch c.kind {
+	case KVBatch:
+		batch := c.set.prof.BatchSize
+		if batch <= 0 {
+			batch = 1000
+		}
+		var buf bytes.Buffer
+		now := c.set.cl.Clock.Now()
+		for i := 0; i < batch; i++ {
+			key := c.randKey()
+			if i%2 == 0 {
+				// Write: bump the version.
+				v := c.versions[key] + 1
+				c.versions[key] = v
+				payload := append(KeyBytes(key), ValueFor(key, v, recordSize)...)
+				buf.Write(Frame(OpSet, payload))
+				c.inflight = append(c.inflight, outstanding{op: OpSet, sentAt: now, expected: []byte("OK"), key: key})
+			} else {
+				v, known := c.versions[key]
+				var exp []byte
+				if known {
+					exp = ValueFor(key, v, recordSize)
+				}
+				buf.Write(Frame(OpGet, KeyBytes(key)))
+				c.inflight = append(c.inflight, outstanding{op: OpGet, sentAt: now, expected: exp, key: key})
+			}
+		}
+		c.sock.Send(buf.Bytes())
+	case KVProbe:
+		key := c.randKey()
+		now := c.set.cl.Clock.Now()
+		if c.rng.Intn(2) == 0 {
+			v := c.versions[key] + 1
+			c.versions[key] = v
+			c.sock.Send(Frame(OpSet, append(KeyBytes(key), ValueFor(key, v, recordSize)...)))
+			c.inflight = append(c.inflight, outstanding{op: OpSet, sentAt: now, expected: []byte("OK"), key: key})
+		} else {
+			v, known := c.versions[key]
+			var exp []byte
+			if known {
+				exp = ValueFor(key, v, recordSize)
+			}
+			c.sock.Send(Frame(OpGet, KeyBytes(key)))
+			c.inflight = append(c.inflight, outstanding{op: OpGet, sentAt: now, expected: exp, key: key})
+		}
+	case WebLoop:
+		pathID := uint32(c.rng.Intn(512))
+		var p [4]byte
+		binary.BigEndian.PutUint32(p[:], pathID)
+		c.sock.Send(Frame(OpWeb, p[:]))
+		c.inflight = append(c.inflight, outstanding{
+			op: OpWeb, sentAt: c.set.cl.Clock.Now(),
+			expected: PageFor(pathID, c.set.prof.RespKB<<10),
+		})
+	case EchoLoop:
+		size := c.echoMax
+		if size > 1 {
+			size = 1 + c.rng.Intn(c.echoMax)
+		}
+		payload := make([]byte, size)
+		c.rng.Read(payload)
+		c.sock.Send(Frame(OpEcho, payload))
+		c.inflight = append(c.inflight, outstanding{op: OpEcho, sentAt: c.set.cl.Clock.Now(), expected: payload})
+	}
+}
+
+func (c *Client) onData(s *simnet.Socket) {
+	c.fr.Feed(s.ReadAll())
+	for {
+		op, payload, ok := c.fr.Next()
+		if !ok {
+			return
+		}
+		if len(c.inflight) == 0 {
+			c.set.fail(fmt.Sprintf("client %d: unexpected response op %q", c.id, op))
+			continue
+		}
+		exp := c.inflight[0]
+		c.inflight = c.inflight[1:]
+		if op != exp.op {
+			c.set.fail(fmt.Sprintf("client %d: response op %q for request %q", c.id, op, exp.op))
+		} else if exp.expected != nil && !bytes.Equal(payload, exp.expected) {
+			c.set.fail(fmt.Sprintf("client %d: wrong content for op %q key %d (%dB vs %dB expected)",
+				c.id, exp.op, exp.key, len(payload), len(exp.expected)))
+		}
+		c.set.Completed++
+		c.set.windowCount++
+		c.respCount++
+		if c.kind == KVBatch {
+			// Pipelined batches: issue a replacement batch whenever a
+			// full batch's worth of responses has arrived.
+			batch := c.set.prof.BatchSize
+			if batch <= 0 {
+				batch = 1000
+			}
+			if c.respCount%batch == 0 {
+				c.set.Latencies.Add(c.set.cl.Clock.Now().Sub(exp.sentAt).Seconds())
+				c.issue()
+			}
+			continue
+		}
+		if len(c.inflight) == 0 {
+			// Closed loop: one request outstanding at a time.
+			c.set.Latencies.Add(c.set.cl.Clock.Now().Sub(exp.sentAt).Seconds())
+			c.issue()
+		}
+	}
+}
+
+func (set *ClientSet) fail(msg string) { set.Errors = append(set.Errors, msg) }
+
+// BeginWindow starts a throughput measurement window.
+func (set *ClientSet) BeginWindow() {
+	set.windowStart = set.cl.Clock.Now()
+	set.windowCount = 0
+}
+
+// WindowThroughput returns completed requests per second since
+// BeginWindow.
+func (set *ClientSet) WindowThroughput() float64 {
+	el := set.cl.Clock.Now().Sub(set.windowStart).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(set.windowCount) / el
+}
+
+// ValidationErrors returns all client-observed errors (content
+// mismatches, protocol violations) — the §VII-A pass/fail signal,
+// together with Resets.
+func (set *ClientSet) ValidationErrors() []string { return set.Errors }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

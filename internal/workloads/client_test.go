@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"testing"
+
+	"nilicon/internal/core"
+	"nilicon/internal/simtime"
+)
+
+func TestLoaderLoadsAllRecords(t *testing.T) {
+	sv := Redis()
+	clock := simtime.NewClock()
+	cl := core.NewCluster(clock, core.ClusterParams{})
+	ctr := cl.NewProtectedContainer("kv", "10.0.0.10", 1)
+	sv.Install(ctr)
+	loader := NewLoader(cl, sv.Profile(), "10.0.0.10", 500)
+	for i := 0; i < 2000 && !loader.Done(); i++ {
+		clock.RunFor(5 * simtime.Millisecond)
+	}
+	if !loader.Done() {
+		t.Fatalf("loader stuck at %d/500", loader.Loaded())
+	}
+	if got := len(sv.State().Index); got != 500 {
+		t.Fatalf("server has %d records, want 500", got)
+	}
+}
+
+func TestKeyStripesDisjointAcrossKinds(t *testing.T) {
+	// Batch clients draw from the lower half, probes from the upper
+	// half; no writer shares a key with another writer.
+	prof := Redis().Profile()
+	clock := simtime.NewClock()
+	cl := core.NewCluster(clock, core.ClusterParams{})
+	batchSet := &ClientSet{cl: cl, prof: prof}
+	probeSet := &ClientSet{cl: cl, prof: prof}
+	mk := func(set *ClientSet, kind ClientKind, id int) *Client {
+		c := &Client{set: set, kind: kind, id: id, rng: simtime.NewRand(int64(id) + 1), versions: map[uint64]uint32{}}
+		set.Clients = append(set.Clients, c)
+		return c
+	}
+	b0 := mk(batchSet, KVBatch, 0)
+	p0 := mk(probeSet, KVProbe, 0)
+	p1 := mk(probeSet, KVProbe, 1)
+	half := uint64(prof.Records / 2)
+	seen := map[uint64]int{}
+	for i := 0; i < 2000; i++ {
+		kb := b0.randKey()
+		if kb >= half {
+			t.Fatalf("batch key %d in probe range", kb)
+		}
+		k0, k1 := p0.randKey(), p1.randKey()
+		if k0 < half || k1 < half {
+			t.Fatalf("probe key below half: %d %d", k0, k1)
+		}
+		seen[k0] = 1
+		if prev, ok := seen[k1]; ok && prev == 1 && k1 == k0 {
+			t.Fatalf("probe stripes overlap at key %d", k1)
+		}
+	}
+	// Distinct probe clients draw from disjoint stripes.
+	stripe := uint64((prof.Records - prof.Records/2) / 2)
+	for i := 0; i < 500; i++ {
+		if k := p0.randKey(); k >= half+stripe {
+			t.Fatalf("probe 0 escaped its stripe: %d", k)
+		}
+		if k := p1.randKey(); k < half+stripe {
+			t.Fatalf("probe 1 escaped its stripe: %d", k)
+		}
+	}
+}
+
+func TestClientKindMapping(t *testing.T) {
+	cases := map[string]ClientKind{
+		"redis": KVBatch, "ssdb": KVBatch,
+		"node": WebLoop, "lighttpd": WebLoop, "djcms": WebLoop,
+		"net": EchoLoop, "netstress": EchoLoop,
+	}
+	for name, want := range cases {
+		if got := ClientKindFor(name); got != want {
+			t.Errorf("kind(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestProbeClientVerifiesReads(t *testing.T) {
+	sv := Redis()
+	clock := simtime.NewClock()
+	cl := core.NewCluster(clock, core.ClusterParams{})
+	ctr := cl.NewProtectedContainer("kv", "10.0.0.10", 1)
+	sv.Install(ctr)
+	set := NewClientSet(cl, sv.Profile(), "10.0.0.10", KVProbe, 2, 9)
+	clock.RunFor(2 * simtime.Second)
+	if set.Completed < 100 {
+		t.Fatalf("probe completed = %d", set.Completed)
+	}
+	if len(set.Errors) != 0 {
+		t.Fatalf("probe verification errors: %v", set.Errors[:min(3, len(set.Errors))])
+	}
+}

@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"nilicon/internal/container"
+	"nilicon/internal/simfs"
+	"nilicon/internal/simkernel"
+	"nilicon/internal/simtime"
+)
+
+// DiskStress is the first §VII-A validation microbenchmark: it performs
+// a mix of writes and reads of random size (1-8192 bytes) to random
+// locations in a file, flagging an error if a read returns different
+// data than was last written to that location. The ground-truth shadow
+// copy is part of the application state, so it rolls back together with
+// the file-system state on failover — any divergence after recovery is
+// a genuine consistency violation in the replication machinery.
+type DiskStress struct {
+	ctr   *container.Container
+	state *diskStressState
+	file  *simfs.Inode
+	rng   *rand.Rand
+	seed  int64
+}
+
+type diskStressState struct {
+	Shadow  []byte
+	Ops     int
+	Errors  []string
+	RngSeed int64
+	RngUses int64
+}
+
+func (st *diskStressState) clone() *diskStressState {
+	cp := *st
+	cp.Shadow = append([]byte(nil), st.Shadow...)
+	cp.Errors = append([]string(nil), st.Errors...)
+	return &cp
+}
+
+// DiskStressFileSize is the working file size.
+const DiskStressFileSize = 128 << 10
+
+// NewDiskStress creates the microbenchmark with a deterministic seed.
+func NewDiskStress(seed int64) *DiskStress {
+	return &DiskStress{seed: seed}
+}
+
+// Profile implements Workload.
+func (d *DiskStress) Profile() Profile {
+	return Profile{Name: "diskstress", Procs: 1, ThreadsPer: 1, LibsPerProc: 2, MemPages: 256}
+}
+
+// SnapshotState and RestoreState implement container.App. The RNG is
+// reconstructed from (seed, uses) so the op stream is deterministic
+// across failover.
+func (d *DiskStress) SnapshotState() any { return d.state.clone() }
+func (d *DiskStress) RestoreState(s any) {
+	d.state = s.(*diskStressState).clone()
+	d.rng = simtime.NewRand(d.state.RngSeed)
+	for i := int64(0); i < d.state.RngUses; i++ {
+		d.rng.Int63()
+	}
+}
+
+// Errors returns consistency violations detected so far.
+func (d *DiskStress) Errors() []string { return d.state.Errors }
+
+// Ops returns how many operations ran.
+func (d *DiskStress) Ops() int { return d.state.Ops }
+
+// Install implements Workload.
+func (d *DiskStress) Install(ctr *container.Container) {
+	d.ctr = ctr
+	d.state = &diskStressState{Shadow: make([]byte, DiskStressFileSize), RngSeed: d.seed}
+	d.rng = simtime.NewRand(d.seed)
+	ctr.App = d
+	d.file = ctr.FS.Create("/data/stress")
+	p := ctr.AddProcess("diskstress", 2)
+	d.startTask(p)
+}
+
+// Reattach implements Workload.
+func (d *DiskStress) Reattach(ctr *container.Container, appState any) {
+	d.ctr = ctr
+	d.RestoreState(appState)
+	ctr.App = d
+	d.file = ctr.FS.Open("/data/stress")
+	if d.file == nil {
+		panic("workloads: diskstress file missing after restore")
+	}
+	d.startTask(ctr.Procs[0])
+}
+
+func (d *DiskStress) startTask(p *simkernel.Process) {
+	d.ctr.AddTask(p.MainThread(), func() (simtime.Duration, simtime.Duration) {
+		d.step()
+		return 150 * simtime.Microsecond, 500 * simtime.Microsecond
+	})
+}
+
+func (d *DiskStress) rnd(n int) int {
+	d.state.RngUses++
+	return int(d.rng.Int63() % int64(n))
+}
+
+func (d *DiskStress) step() {
+	d.state.Ops++
+	size := 1 + d.rnd(8192)
+	off := d.rnd(DiskStressFileSize - size)
+	if d.rnd(2) == 0 {
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(d.state.Ops + i)
+		}
+		if err := d.ctr.FS.WriteAt(d.file, int64(off), data); err != nil {
+			d.state.Errors = append(d.state.Errors, err.Error())
+			return
+		}
+		copy(d.state.Shadow[off:], data)
+	} else {
+		got, err := d.ctr.FS.ReadAt(d.file, int64(off), size)
+		if err != nil {
+			d.state.Errors = append(d.state.Errors, err.Error())
+			return
+		}
+		if !bytes.Equal(got, d.state.Shadow[off:off+size]) {
+			d.state.Errors = append(d.state.Errors,
+				fmt.Sprintf("op %d: read mismatch at %d+%d", d.state.Ops, off, size))
+		}
+	}
+}
