@@ -9,6 +9,7 @@ package nilicon_test
 import (
 	"testing"
 
+	"nilicon/internal/core"
 	"nilicon/internal/harness"
 	"nilicon/internal/simtime"
 	"nilicon/internal/workloads"
@@ -144,4 +145,31 @@ func BenchmarkScaleProcs(b *testing.B) {
 		b.ReportMetric(rows[0].Overhead*100, "1proc-%ovh")
 		b.ReportMetric(rows[1].Overhead*100, "8proc-%ovh")
 	}
+}
+
+// BenchmarkPipelinedVsStopAndCopy compares the epoch pipeline's transfer
+// modes on streamcluster: strict stop-and-copy (container frozen until
+// the state reaches the backup) against the overlapped pipelined
+// transfer (CoW pages stream while the next epoch executes). Wall-clock
+// time per iteration is the benchmark metric; the virtual-time overhead
+// each mode imposes on the workload is reported alongside.
+func BenchmarkPipelinedVsStopAndCopy(b *testing.B) {
+	stock := harness.RunBatch(workloads.Streamcluster, harness.Stock, quickRC())
+	run := func(b *testing.B, opts core.OptSet) {
+		for i := 0; i < b.N; i++ {
+			rc := quickRC()
+			rc.Opts = &opts
+			res := harness.RunBatch(workloads.Streamcluster, harness.NiLiCon, rc)
+			b.ReportMetric(harness.Overhead(stock, res)*100, "%ovh")
+			b.ReportMetric(res.StopMean*1000, "stop-ms")
+		}
+	}
+	b.Run("StopAndCopy", func(b *testing.B) {
+		opts := core.AllOpts()
+		opts.StagingBuffer = false
+		run(b, opts)
+	})
+	b.Run("Pipelined", func(b *testing.B) {
+		run(b, core.PipelinedOpts())
+	})
 }

@@ -13,10 +13,14 @@
 //	               Tables III, IV and V from the same runs)
 //	table6         Single-client response latency
 //	validate       §VII-A fault-injection validation
+//	pipeline       Epoch-pipeline transfer-mode ablation (streamcluster)
 //	scale-threads  Streamcluster 1..32 threads
 //	scale-clients  Lighttpd 2..128 clients
 //	scale-procs    Lighttpd 1..8 processes
 //	all            Everything above
+//
+// The -pipeline flag enables the overlapped (pipelined) state transfer
+// on experiments that run a replicator (timeline, validate, fig3, ...).
 //
 // All experiments run in virtual time and are fully deterministic for a
 // given -seed.
@@ -41,8 +45,9 @@ func main() {
 	runs := fs.Int("runs", 5, "validation runs per benchmark")
 	bench := fs.String("bench", "redis", "benchmark for the timeline command")
 	runLen := fs.Duration("runlen", 20*time.Second, "validation run length (paper: 60s, 50 runs)")
+	pipelined := fs.Bool("pipeline", false, "enable the overlapped (pipelined) state transfer")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
+		fmt.Fprintf(os.Stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
 		fs.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -52,7 +57,7 @@ func main() {
 	cmd := os.Args[1]
 	_ = fs.Parse(os.Args[2:])
 
-	rc := harness.RunConfig{Seed: *seed, Warmup: *warmup, Measure: *measure}
+	rc := harness.RunConfig{Seed: *seed, Warmup: *warmup, Measure: *measure, Pipelined: *pipelined}
 	harness.Verbose = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
@@ -76,7 +81,10 @@ func main() {
 			_, tb := harness.RunTable6(rc)
 			fmt.Println(tb)
 		case "validate":
-			_, tb := harness.RunValidation(nil, *runs, simtime.Duration(*runLen), *seed)
+			_, tb := harness.RunValidationOpts(nil, *runs, simtime.Duration(*runLen), *seed, *pipelined)
+			fmt.Println(tb)
+		case "pipeline":
+			_, tb := harness.RunPipelineAblation(rc)
 			fmt.Println(tb)
 		case "scale-threads":
 			_, tb := harness.RunScaleThreads(nil, rc)
@@ -104,7 +112,7 @@ func main() {
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"table1", "table2", "fig3", "table6", "validate", "scale-threads", "scale-clients", "scale-procs"} {
+		for _, name := range []string{"table1", "table2", "fig3", "table6", "validate", "pipeline", "scale-threads", "scale-clients", "scale-procs"} {
 			fmt.Printf("== %s ==\n", name)
 			run(name)
 		}

@@ -173,7 +173,7 @@ func (b *BackupAgent) tryAck(epoch uint64) {
 	}
 	delete(b.pending, epoch)
 	r := b.r
-	b.cl.AckLink.Transfer(16, func() { r.releaseOutput(epoch) })
+	b.cl.AckLink.Transfer(16, func() { r.ackReceived(epoch) })
 	b.commit(epoch, img)
 }
 

@@ -26,6 +26,11 @@ type Cluster struct {
 	// AckLink carries acknowledgments and heartbeats backup↔primary.
 	AckLink *simnet.Link
 
+	// Xfer multiplexes bulk state transfers from all replicators over
+	// ReplLink (heartbeats and DRBD barriers bypass it as individual
+	// packets).
+	Xfer *TransferScheduler
+
 	DRBDPrimary *simdisk.DRBD
 	DRBDBackup  *simdisk.DRBD
 
@@ -69,6 +74,7 @@ func NewCluster(clock *simtime.Clock, params ClusterParams) *Cluster {
 		ReplLink: simnet.NewLink(clock, params.ReplLatency, params.ReplBW),
 		AckLink:  simnet.NewLink(clock, params.ReplLatency, params.ReplBW),
 	}
+	cl.Xfer = NewTransferScheduler(clock, cl.ReplLink)
 	cl.DRBDPrimary, cl.DRBDBackup = simdisk.NewDRBDPair(cl.Primary.Disk, cl.Backup.Disk, cl.ReplLink)
 	return cl
 }

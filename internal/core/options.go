@@ -40,6 +40,17 @@ type OptSet struct {
 	// sockets leaving repair mode (§V-E). It affects only recovery
 	// latency, not normal-operation overhead.
 	RepairRTOPatch bool
+	// PipelinedTransfer overlaps epoch k's state transfer with epoch
+	// k+1's execution, HyCoR-style: dirty pages are write-protected
+	// instead of copied during the stop, the container resumes at the end
+	// of collection, and the image streams to the backup from the
+	// CoW-protected pages while the container runs (paying a small
+	// copy-on-write runtime tax for re-dirtied pages). Output release is
+	// still strictly gated on the backup's acknowledgment — the
+	// ReleaseOutput→AwaitAck edge of the stage graph is unconditional.
+	// This goes beyond the paper's Table I ladder and is therefore not
+	// part of AllOpts.
+	PipelinedTransfer bool
 }
 
 // AllOpts returns the fully optimized NiLiCon configuration.
@@ -57,6 +68,15 @@ func AllOpts() OptSet {
 
 // BasicOpts returns the unoptimized basic implementation (§IV).
 func BasicOpts() OptSet { return OptSet{} }
+
+// PipelinedOpts returns the fully optimized configuration plus the
+// overlapped (pipelined) state transfer, which is not part of the
+// paper's Table I ladder.
+func PipelinedOpts() OptSet {
+	o := AllOpts()
+	o.PipelinedTransfer = true
+	return o
+}
 
 // LadderStep names one cumulative row of Table I.
 type LadderStep struct {

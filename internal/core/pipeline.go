@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"nilicon/internal/criu"
+	"nilicon/internal/simtime"
+	"nilicon/internal/trace"
+)
+
+// cowRedirtyDivisor models the copy-on-write cost of PipelinedTransfer:
+// with the dirty pages write-protected instead of copied out during the
+// stop, only the fraction of pages the container re-dirties before their
+// turn in the stream pays a fault-time copy. Roughly one page in eight
+// is re-written that soon at 30 ms epochs, so the runtime tax is the
+// saved copy time divided by this.
+const cowRedirtyDivisor = 8
+
+// epochRun carries one epoch's checkpoint through the stage graph. A run
+// is created at the epoch boundary and lives until its output is
+// released (or replication stops). Stages start as soon as their
+// dependencies complete; which stages overlap container execution is
+// decided entirely by the OptSet's stage graph (stage.go), not by the
+// order of any loop body.
+type epochRun struct {
+	r     *Replicator
+	epoch uint64
+	img   *criu.Image
+	stats criu.CheckpointStats
+
+	deps    [NumStages][]Stage
+	started [NumStages]bool
+	done    [NumStages]bool
+	doneAt  [NumStages]simtime.Time
+	dur     [NumStages]simtime.Duration
+
+	// startAt is the epoch boundary; pauseEnd is when the virtual-time
+	// pause (BlockInput + FreezeCollect) ends; thawAt is when the
+	// container actually resumed (≥ pauseEnd under stop-and-copy).
+	startAt  simtime.Time
+	pauseEnd simtime.Time
+	thawAt   simtime.Time
+
+	// cowTax is the copy-on-write runtime tax charged mid-epoch when
+	// PipelinedTransfer defers the dirty-page copy out of the pause.
+	cowTax simtime.Duration
+}
+
+// start dispatches to a stage's implementation. The driver (advance)
+// starts a stage the moment its dependencies are complete.
+func (run *epochRun) start(s Stage) {
+	switch s {
+	case StageBlockInput:
+		run.blockInput()
+	case StageFreezeCollect:
+		run.freezeCollect()
+	case StageThaw:
+		run.thaw()
+	case StageTransfer:
+		run.transfer()
+	case StageAwaitAck:
+		run.awaitAck()
+	case StageReleaseOutput:
+		run.releaseOutput()
+	}
+}
+
+// advance starts every not-yet-started stage whose dependencies have
+// completed. Synchronous stages complete inside their handler (possibly
+// with a future virtual-time completion stamp); asynchronous stages
+// complete from scheduled events or link-delivery callbacks, which call
+// complete and thereby re-enter advance.
+func (run *epochRun) advance() {
+	for s := Stage(0); s < NumStages; s++ {
+		if run.started[s] || !run.ready(s) {
+			continue
+		}
+		run.started[s] = true
+		run.start(s)
+	}
+}
+
+func (run *epochRun) ready(s Stage) bool {
+	for _, d := range run.deps[s] {
+		if !run.done[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// complete marks a stage finished at virtual time `at` with measured
+// duration d, then lets dependent stages start.
+func (run *epochRun) complete(s Stage, at simtime.Time, d simtime.Duration) {
+	run.done[s] = true
+	run.doneAt[s] = at
+	run.dur[s] = d
+	run.advance()
+}
+
+// --- Stage implementations ---------------------------------------------------
+
+// blockInput blocks network input for the duration of the stop phase
+// (§III): sch_plug (43 µs) or firewall rules (7 ms) per §V-C.
+func (run *epochRun) blockInput() {
+	r := run.r
+	costs := r.Ctr.Host.Kernel.Costs
+	var cost simtime.Duration
+	if r.Cfg.Opts.PlugInput {
+		cost = costs.PlugBlock
+	} else {
+		cost = costs.FirewallSetup
+	}
+	r.Ctr.Qdisc.BlockInput()
+	run.complete(StageBlockInput, run.startAt.Add(cost), cost)
+}
+
+// freezeCollect freezes the container and collects the checkpoint image.
+// The state capture itself happens atomically at the epoch boundary; the
+// stage's virtual-time cost is the stop-phase pause it contributes.
+func (run *epochRun) freezeCollect() {
+	r := run.r
+	cl := r.Cluster
+	costs := r.Ctr.Host.Kernel.Costs
+
+	img, stats := r.engine.Checkpoint()
+	run.img, run.stats = img, stats
+
+	var stop simtime.Duration
+	if r.Cfg.Opts.PipelinedTransfer {
+		// The dirty pages are write-protected instead of copied out
+		// during the pause: the copy happens lazily while the image
+		// streams (StageTransfer), and only re-dirtied pages pay a
+		// copy-on-write fault, charged as runtime tax mid-epoch.
+		stop = stats.StopTimeExcludingCopy()
+		run.cowTax = stats.MemCopy / cowRedirtyDivisor
+	} else {
+		stop = stats.StopTime()
+	}
+	stop += r.Cfg.ExtraStopPerCheckpoint
+	if !r.Cfg.Opts.OptimizeCRIU {
+		// Stock CRIU: fork a fresh checkpoint process per epoch and push
+		// the state through the proxy processes (§V-A).
+		stop += costs.CRIUForkSetup
+		stop += costs.ProxyFixed + costs.ProxyPerMB*simtime.Duration(stats.StateBytes>>20)
+	}
+
+	// End this epoch's disk writes and start tagging the next epoch's.
+	cl.DRBDPrimary.Barrier(run.epoch)
+	cl.DRBDPrimary.SetEpoch(run.epoch + 1)
+
+	// Buffered output generated during this epoch is released only when
+	// the backup acknowledges this checkpoint.
+	r.Ctr.Qdisc.Rotate(run.epoch)
+
+	r.LastStats = stats
+	run.pauseEnd = run.doneAt[StageBlockInput].Add(stop)
+	run.complete(StageFreezeCollect, run.pauseEnd, stop)
+}
+
+// thaw resumes the container once every dependency allows it: at the end
+// of the pause when the transfer is overlapped, or after delivery at the
+// backup under stop-and-copy. The recorded duration is the extra wait
+// beyond the pause.
+func (run *epochRun) thaw() {
+	r := run.r
+	cl := r.Cluster
+	at := run.pauseEnd
+	for _, d := range run.deps[StageThaw] {
+		if run.doneAt[d] > at {
+			at = run.doneAt[d]
+		}
+	}
+	if now := cl.Clock.Now(); at < now {
+		at = now
+	}
+	run.thawAt = at
+	cl.Clock.ScheduleAt(at, func() {
+		if r.stopped {
+			return
+		}
+		r.Ctr.Thaw()
+		r.Ctr.Qdisc.UnblockInput()
+		r.epochEvent = cl.Clock.Schedule(r.Cfg.EpochInterval, r.runEpoch)
+		r.applyRuntimeTax(run.cowTax)
+		run.recordStop()
+		run.complete(StageThaw, at, at.Sub(run.pauseEnd))
+	})
+}
+
+// transfer streams the image to the backup through the cluster's
+// TransferScheduler. Overlapped configurations start streaming when the
+// container resumes (the pages are staged or CoW-protected by then);
+// stop-and-copy streams during the pause, directly from frozen memory.
+func (run *epochRun) transfer() {
+	r := run.r
+	cl := r.Cluster
+	submit := func() {
+		start := cl.Clock.Now()
+		b := r.Backup
+		epoch, img := run.epoch, run.img
+		cl.Xfer.Submit(r.Ctr.ID, img.StreamChunks(xferChunkBytes), func() {
+			b.receiveState(epoch, img)
+			now := cl.Clock.Now()
+			run.complete(StageTransfer, now, now.Sub(start))
+		})
+	}
+	if r.Cfg.Opts.StagingBuffer || r.Cfg.Opts.PipelinedTransfer {
+		cl.Clock.ScheduleAt(run.pauseEnd, submit)
+	} else {
+		submit()
+	}
+}
+
+// awaitAck has no work of its own: it completes when the backup's
+// acknowledgment arrives (Replicator.ackReceived). If the backup fails
+// or the link goes down, the stage never completes and the epoch's
+// output stays buffered — which is exactly the output-commit rule.
+func (run *epochRun) awaitAck() {}
+
+// releaseOutput flushes the epoch's buffered output. The stage graph
+// guarantees AwaitAck completed first; the commit check below makes the
+// output-commit invariant (DESIGN.md §4) fail loudly rather than
+// silently if the graph is ever miswired.
+func (run *epochRun) releaseOutput() {
+	r := run.r
+	if c, ok := r.Backup.CommittedEpoch(); !ok || c < run.epoch {
+		panic(fmt.Sprintf("core: output-commit violation: releasing epoch %d before backup commit", run.epoch))
+	}
+	now := r.Cluster.Clock.Now()
+	r.Ctr.Qdisc.Release(run.epoch)
+	run.complete(StageReleaseOutput, now, now.Sub(run.startAt))
+	run.record()
+}
+
+// --- Measurement -------------------------------------------------------------
+
+// recordStop adds the epoch's stop-phase samples once the actual resume
+// time is known. The initial full synchronization is one-time setup;
+// Tables III/IV report steady-state incremental checkpoints.
+func (run *epochRun) recordStop() {
+	if run.img.Full {
+		return
+	}
+	r := run.r
+	stats := run.stats
+	r.StopTimes.Add(run.thawAt.Sub(run.startAt).Seconds())
+	r.StateBytes.Add(float64(stats.StateBytes))
+	r.DirtyPages.Add(float64(stats.DirtyPages))
+	r.FreezeWaits.Add(stats.FreezeWait.Seconds())
+	r.SockCollects.Add(stats.SocketCollect.Seconds())
+	r.ThreadColls.Add(stats.ThreadCollect.Seconds())
+	r.MemCopies.Add(stats.MemCopy.Seconds())
+	r.VMACollects.Add(stats.VMACollect.Seconds())
+}
+
+// record adds the per-stage samples and the timeline row once the whole
+// pipeline (through output release) has run for this epoch.
+func (run *epochRun) record() {
+	if run.img.Full {
+		return
+	}
+	r := run.r
+	for s := Stage(0); s < NumStages; s++ {
+		r.StageTimes[s].Add(run.dur[s].Seconds())
+	}
+	if r.Timeline != nil {
+		r.Timeline.Record(trace.EpochRecord{
+			Epoch:      run.epoch,
+			At:         run.startAt,
+			Stop:       run.thawAt.Sub(run.startAt),
+			FreezeWait: run.stats.FreezeWait,
+			MemCopy:    run.stats.MemCopy,
+			SockColl:   run.stats.SocketCollect,
+			StateBytes: run.stats.StateBytes,
+			DirtyPages: run.stats.DirtyPages,
+			Transfer:   run.dur[StageTransfer],
+			AckWait:    run.dur[StageAwaitAck],
+			Commit:     run.dur[StageReleaseOutput],
+		})
+	}
+}

@@ -8,10 +8,10 @@ import (
 	"nilicon/internal/trace"
 )
 
-// Replicator is the primary agent (§IV): it runs the epoch loop —
-// execute, stop (block input, freeze, collect), resume, transfer, await
-// acknowledgment, release buffered output — and sends heartbeats to the
-// backup agent.
+// Replicator is the primary agent (§IV): it drives the epoch pipeline —
+// execute, then BlockInput, FreezeCollect, Thaw, Transfer, AwaitAck,
+// ReleaseOutput per the stage graph (stage.go) — and sends heartbeats to
+// the backup agent.
 type Replicator struct {
 	Cfg     Config
 	Cluster *Cluster
@@ -20,6 +20,10 @@ type Replicator struct {
 
 	engine *criu.Engine
 	epoch  uint64
+
+	// inflight holds epochs whose pipeline has not yet released output
+	// (with overlapped transfer, several can be in flight at once).
+	inflight map[uint64]*epochRun
 
 	running bool
 	stopped bool
@@ -34,6 +38,10 @@ type Replicator struct {
 	ThreadColls  metrics.Stream // seconds
 	MemCopies    metrics.Stream // seconds
 	VMACollects  metrics.Stream // seconds
+
+	// StageTimes holds one stream per pipeline stage (seconds), sampled
+	// once per epoch when the epoch's output is released.
+	StageTimes [NumStages]metrics.Stream
 
 	// LastStats is the most recent checkpoint's breakdown.
 	LastStats criu.CheckpointStats
@@ -64,7 +72,7 @@ func NewReplicator(cl *Cluster, ctr *container.Container, cfg Config) *Replicato
 	if cfg.HeartbeatMisses <= 0 {
 		cfg.HeartbeatMisses = 3
 	}
-	r := &Replicator{Cfg: cfg, Cluster: cl, Ctr: ctr}
+	r := &Replicator{Cfg: cfg, Cluster: cl, Ctr: ctr, inflight: make(map[uint64]*epochRun)}
 	r.engine = criu.NewEngine(ctr, cfg.Opts.criuOptions())
 	r.Backup = newBackupAgent(cl, cfg, r)
 	return r
@@ -108,6 +116,7 @@ func (r *Replicator) Stop() {
 	if r.epochEvent != nil {
 		r.epochEvent.Cancel()
 	}
+	r.inflight = make(map[uint64]*epochRun)
 	r.Backup.stop()
 	r.Ctr.Qdisc.SetReplicating(false)
 	r.engine.Close()
@@ -136,107 +145,51 @@ func (r *Replicator) heartbeat() {
 	r.Cluster.ReplLink.TransferExpress(16, func() { b.heartbeatArrived() })
 }
 
-// runEpoch executes the stop phase at an epoch boundary: block input,
-// freeze, collect, barrier, rotate output buffer, then resume and
-// transfer (ordering depends on the staging-buffer optimization).
+// runEpoch fires at an epoch boundary. It is a thin driver: it creates
+// the epoch's pipeline run and lets the stage graph decide what executes
+// when — which stages overlap container execution is a property of the
+// configuration's dependency edges, not of this function's shape.
 func (r *Replicator) runEpoch() {
 	if r.stopped {
 		return
 	}
-	cl := r.Cluster
-	k := r.Ctr.Host.Kernel
-	costs := k.Costs
-	epoch := r.epoch
-
-	// Block network input for the duration of the stop phase (§III).
-	var blockCost simtime.Duration
-	if r.Cfg.Opts.PlugInput {
-		blockCost = costs.PlugBlock
-	} else {
-		blockCost = costs.FirewallSetup
+	run := &epochRun{
+		r:       r,
+		epoch:   r.epoch,
+		deps:    r.Cfg.Opts.stageGraph(),
+		startAt: r.Cluster.Clock.Now(),
 	}
-	r.Ctr.Qdisc.BlockInput()
-
-	img, stats := r.engine.Checkpoint()
-
-	stop := stats.StopTime() + blockCost + r.Cfg.ExtraStopPerCheckpoint
-	if !r.Cfg.Opts.OptimizeCRIU {
-		// Stock CRIU: fork a fresh checkpoint process per epoch and push
-		// the state through the proxy processes (§V-A).
-		stop += costs.CRIUForkSetup
-		stop += costs.ProxyFixed + costs.ProxyPerMB*simtime.Duration(stats.StateBytes>>20)
-	}
-	// End this epoch's disk writes and start tagging the next epoch's.
-	cl.DRBDPrimary.Barrier(epoch)
-	cl.DRBDPrimary.SetEpoch(epoch + 1)
-
-	// Buffered output generated during this epoch is released only when
-	// the backup acknowledges this checkpoint.
-	r.Ctr.Qdisc.Rotate(epoch)
-
-	b := r.Backup
-	now := cl.Clock.Now()
-	resumeDelay := stop
-	if r.Cfg.Opts.StagingBuffer {
-		// Pages were copied into the staging buffer during the stop;
-		// the transfer overlaps the next execution phase.
-		cl.Clock.Schedule(resumeDelay, func() {
-			cl.ReplLink.Transfer(stats.StateBytes, func() { b.receiveState(epoch, img) })
-		})
-	} else {
-		// The container may not resume until the state has reached the
-		// backup (§V-D deficiency (2)).
-		deliverAt := cl.ReplLink.Transfer(stats.StateBytes, func() { b.receiveState(epoch, img) })
-		if d := deliverAt.Sub(now); d > resumeDelay {
-			resumeDelay = d
-		}
-	}
-
-	r.LastStats = stats
-	if !img.Full {
-		// The initial full synchronization is one-time setup; Tables
-		// III/IV report steady-state incremental checkpoints. The stop
-		// time is the full pause: freeze + collect (+ transfer when no
-		// staging buffer is used).
-		r.StopTimes.Add(simtime.Duration(resumeDelay).Seconds())
-		r.StateBytes.Add(float64(stats.StateBytes))
-		r.DirtyPages.Add(float64(stats.DirtyPages))
-		r.FreezeWaits.Add(stats.FreezeWait.Seconds())
-		r.SockCollects.Add(stats.SocketCollect.Seconds())
-		r.ThreadColls.Add(stats.ThreadCollect.Seconds())
-		r.MemCopies.Add(stats.MemCopy.Seconds())
-		r.VMACollects.Add(stats.VMACollect.Seconds())
-		if r.Timeline != nil {
-			r.Timeline.Record(trace.EpochRecord{
-				Epoch:      epoch,
-				At:         now,
-				Stop:       resumeDelay,
-				FreezeWait: stats.FreezeWait,
-				MemCopy:    stats.MemCopy,
-				SockColl:   stats.SocketCollect,
-				StateBytes: stats.StateBytes,
-				DirtyPages: stats.DirtyPages,
-			})
-		}
-	}
-
 	r.epoch++
-	cl.Clock.Schedule(resumeDelay, func() {
-		if r.stopped {
-			return
-		}
-		r.Ctr.Thaw()
-		r.Ctr.Qdisc.UnblockInput()
-		r.epochEvent = cl.Clock.Schedule(r.Cfg.EpochInterval, r.runEpoch)
-		r.applyRuntimeTax()
-	})
+	r.inflight[run.epoch] = run
+	run.advance()
+}
+
+// ackReceived is called when the backup's acknowledgment of epoch e
+// arrives on the ack link; it completes that epoch's AwaitAck stage,
+// which unblocks ReleaseOutput.
+func (r *Replicator) ackReceived(e uint64) {
+	if r.stopped {
+		return
+	}
+	run := r.inflight[e]
+	if run == nil {
+		// No pipeline record (replication restarted across a failover);
+		// the backup only acknowledges committed epochs, so releasing
+		// directly preserves the output-commit rule.
+		r.Ctr.Qdisc.Release(e)
+		return
+	}
+	delete(r.inflight, e)
+	now := r.Cluster.Clock.Now()
+	run.complete(StageAwaitAck, now, now.Sub(run.doneAt[StageTransfer]))
 }
 
 // applyRuntimeTax steals the configured runtime-overhead time from the
 // middle of the execution phase (the container briefly pauses, modeling
-// tracking costs not tied to individual page writes).
-func (r *Replicator) applyRuntimeTax() {
-	tax := r.Cfg.RuntimeTaxPerEpoch
+// tracking costs not tied to individual page writes). extra adds this
+// epoch's copy-on-write cost when the transfer is pipelined.
+func (r *Replicator) applyRuntimeTax(extra simtime.Duration) {
+	tax := r.Cfg.RuntimeTaxPerEpoch + extra
 	if tax <= 0 {
 		return
 	}
@@ -252,12 +205,4 @@ func (r *Replicator) applyRuntimeTax() {
 			}
 		})
 	})
-}
-
-// releaseOutput is called when the backup acknowledges epoch e.
-func (r *Replicator) releaseOutput(e uint64) {
-	if r.stopped {
-		return
-	}
-	r.Ctr.Qdisc.Release(e)
 }

@@ -35,6 +35,7 @@ func Reprotect(old *Cluster, ctr *container.Container, cfg Config) (*Cluster, *R
 		Backup:   old.Primary,
 		ReplLink: old.ReplLink,
 		AckLink:  old.AckLink,
+		Xfer:     NewTransferScheduler(old.Clock, old.ReplLink),
 	}
 
 	// DRBD initial synchronization: the new backup's disk starts as a
@@ -44,7 +45,8 @@ func Reprotect(old *Cluster, ctr *container.Container, cfg Config) (*Cluster, *R
 	swapped.Backup.Disk = resync
 	swapped.DRBDPrimary, swapped.DRBDBackup = simdisk.NewDRBDPair(
 		swapped.Primary.Disk, swapped.Backup.Disk, swapped.ReplLink)
-	old.ReplLink.Transfer(int64(swapped.Primary.Disk.Blocks())*simdisk.BlockSize, nil)
+	swapped.Xfer.SubmitBytes(ctr.ID+"/resync",
+		int64(swapped.Primary.Disk.Blocks())*simdisk.BlockSize, nil)
 
 	// The container's file system now writes through the new DRBD
 	// primary end.

@@ -11,7 +11,23 @@ import (
 // host → fail the new primary → recover again — with the same client
 // connection surviving both failovers and all committed data intact.
 func TestDoubleFailover(t *testing.T) {
-	env := newTestEnv(t, DefaultConfig())
+	runDoubleFailover(t, DefaultConfig(), DefaultConfig())
+}
+
+// TestDoubleFailoverPipelined runs the same cycle with the overlapped
+// transfer enabled on both generations: half-streamed checkpoints at
+// the moment of each fault must be discarded, not recovered to.
+func TestDoubleFailoverPipelined(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Opts = PipelinedOpts()
+	cfg2 := DefaultConfig()
+	cfg2.Opts = PipelinedOpts()
+	runDoubleFailover(t, cfg, cfg2)
+}
+
+func runDoubleFailover(t *testing.T, cfg, cfg2 Config) {
+	t.Helper()
+	env := newTestEnv(t, cfg)
 	env.repl.Start()
 	env.clock.RunFor(500 * simtime.Millisecond)
 	client := newKVClient(env.cl, "10.0.0.1", "10.0.0.10")
@@ -39,7 +55,6 @@ func TestDoubleFailover(t *testing.T) {
 	env.cl.AckLink.SetDown(false)
 
 	// --- Re-protect -------------------------------------------------------
-	cfg2 := DefaultConfig()
 	// The restored container already carries the app; reattach on the
 	// *second* failover rebuilds it again from the checkpointed state.
 	app := restored.App.(*kvApp)

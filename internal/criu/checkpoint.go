@@ -1,6 +1,8 @@
 package criu
 
 import (
+	"sort"
+
 	"nilicon/internal/container"
 	"nilicon/internal/simkernel"
 	"nilicon/internal/simtime"
@@ -190,7 +192,7 @@ func (e *Engine) Checkpoint() (*Image, CheckpointStats) {
 	for port := range listenPorts(ctr) {
 		img.Listeners = append(img.Listeners, port)
 	}
-	sortInts(img.Listeners)
+	sort.Ints(img.Listeners)
 	stats.SocketCollect = sm.Stop()
 
 	// --- File-system cache (§III) -------------------------------------------
@@ -246,12 +248,4 @@ func (e *Engine) Checkpoint() (*Image, CheckpointStats) {
 // listenPorts returns the set of ports the container's stack listens on.
 func listenPorts(ctr *container.Container) map[int]bool {
 	return ctr.Stack.ListenPorts()
-}
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }

@@ -105,6 +105,25 @@ func (img *Image) SizeBytes() int64 {
 	return n
 }
 
+// StreamChunks splits the image's wire size into transfer-sized pieces
+// for streaming over the replication link. The image is streamable as
+// soon as collection ends: the pages were either copied into the staging
+// buffer during the stop (§V-D) or write-protected for lazy
+// copy-on-write capture (pipelined transfer), so the bytes are stable
+// while the container runs. The last chunk carries the remainder.
+func (img *Image) StreamChunks(chunkBytes int64) []int64 {
+	total := img.SizeBytes()
+	if chunkBytes <= 0 || total <= chunkBytes {
+		return []int64{total}
+	}
+	chunks := make([]int64, 0, (total+chunkBytes-1)/chunkBytes)
+	for total > chunkBytes {
+		chunks = append(chunks, chunkBytes)
+		total -= chunkBytes
+	}
+	return append(chunks, total)
+}
+
 // CheckpointStats reports where a checkpoint's stop time went; the
 // harness aggregates these into Tables III and IV.
 type CheckpointStats struct {
@@ -131,4 +150,12 @@ type CheckpointStats struct {
 // StopTime is the total container pause: freeze wait plus collection.
 func (cs CheckpointStats) StopTime() simtime.Duration {
 	return cs.FreezeWait + cs.Collect
+}
+
+// StopTimeExcludingCopy is the container pause when the dirty-page copy
+// is deferred out of the stop phase (pipelined transfer write-protects
+// the pages and copies them lazily while the image streams): freeze wait
+// plus collection minus the page-copy component.
+func (cs CheckpointStats) StopTimeExcludingCopy() simtime.Duration {
+	return cs.FreezeWait + cs.Collect - cs.MemCopy
 }

@@ -349,6 +349,14 @@ type ValidationResult struct {
 // of ≥60 s per benchmark; runs and runLength are configurable so tests
 // stay fast.
 func RunValidation(benches []string, runs int, runLength simtime.Duration, seed int64) ([]ValidationResult, *metrics.Table) {
+	return RunValidationOpts(benches, runs, runLength, seed, false)
+}
+
+// RunValidationOpts is RunValidation with the overlapped (pipelined)
+// state transfer optionally enabled on every run's replicator: the
+// output-commit guarantees of §VII-A must hold identically with the
+// transfer overlapping execution.
+func RunValidationOpts(benches []string, runs int, runLength simtime.Duration, seed int64, pipelined bool) ([]ValidationResult, *metrics.Table) {
 	if len(benches) == 0 {
 		benches = []string{"diskstress", "netstress", "redis", "ssdb", "node", "lighttpd", "djcms", "swaptions", "streamcluster"}
 	}
@@ -356,7 +364,7 @@ func RunValidation(benches []string, runs int, runLength simtime.Duration, seed 
 	for _, name := range benches {
 		for run := 0; run < runs; run++ {
 			progressf("validate: %s run %d/%d...", name, run+1, runs)
-			results = append(results, validateOnce(name, run, runLength, seed+int64(run)*104729))
+			results = append(results, validateOnce(name, run, runLength, seed+int64(run)*104729, pipelined))
 		}
 	}
 	tb := metrics.NewTable("§VII-A validation: fail-stop fault injection",
@@ -384,7 +392,7 @@ func RunValidation(benches []string, runs int, runLength simtime.Duration, seed 
 	return results, tb
 }
 
-func validateOnce(name string, run int, runLength simtime.Duration, seed int64) ValidationResult {
+func validateOnce(name string, run int, runLength simtime.Duration, seed int64, pipelined bool) ValidationResult {
 	wl, err := workloads.ByName(name)
 	if err != nil {
 		panic(err)
@@ -398,7 +406,7 @@ func validateOnce(name string, run int, runLength simtime.Duration, seed int64) 
 	}
 	prof := wl.Profile()
 	clock, cl, ctr := setup(wl, 0)
-	rc := RunConfig{Seed: seed}
+	rc := RunConfig{Seed: seed, Pipelined: pipelined}
 	rc.defaults()
 	cfg := nlConfig(prof, func() workloads.Workload {
 		fresh, _ := workloads.ByName(name)

@@ -49,6 +49,10 @@ type RunConfig struct {
 	Seed    int64
 	// Opts overrides the NiLiCon optimization set (AllOpts by default).
 	Opts *core.OptSet
+	// Pipelined enables the overlapped state transfer (PipelinedTransfer)
+	// on top of the default option set. Ignored when Opts is set: an
+	// experiment that pins an explicit option set owns its transfer mode.
+	Pipelined bool
 	// Clients overrides the profile's saturating client count.
 	Clients int
 }
@@ -94,6 +98,10 @@ type RunResult struct {
 	Resets      int
 
 	Epochs uint64
+
+	// StageMeans holds the mean virtual-time cost of each pipeline stage
+	// (seconds, indexed by core.Stage; NiLiCon mode only).
+	StageMeans [core.NumStages]float64
 }
 
 // setup builds a cluster with the workload installed on a protected
@@ -119,7 +127,12 @@ func setup(wl workloads.Workload, cores int) (*simtime.Clock, *core.Cluster, *co
 func nlConfig(prof workloads.Profile, fresh func() workloads.Workload, rc RunConfig) core.Config {
 	cfg := core.DefaultConfig()
 	if rc.Opts != nil {
+		// An experiment that pins its own optimization set (the Table I
+		// ladder, the pipeline ablation rows) owns the transfer mode too;
+		// the global Pipelined toggle must not silently rewrite its rows.
 		cfg.Opts = *rc.Opts
+	} else if rc.Pipelined {
+		cfg.Opts.PipelinedTransfer = true
 	}
 	cfg.ExtraStopPerCheckpoint = prof.TotalExtraStop()
 	cfg.RuntimeTaxPerEpoch = prof.RuntimeTax
@@ -181,6 +194,7 @@ func RunServer(mk func() *workloads.Server, mode Mode, rc RunConfig) RunResult {
 		repl.Stop()
 		res.Epochs = repl.Epochs()
 		fillStats(&res, &repl.StopTimes, &repl.StateBytes, &repl.DirtyPages, wall)
+		fillStageMeans(&res, repl)
 		res.BackupUtil = (repl.Backup.CPUBusy - backupAt).Seconds() / wall
 	case MC:
 		mc.Stop()
@@ -228,6 +242,7 @@ func RunBatch(mk func() *workloads.Parsec, mode Mode, rc RunConfig) RunResult {
 		repl.Stop()
 		res.Epochs = repl.Epochs()
 		fillStats(&res, &repl.StopTimes, &repl.StateBytes, &repl.DirtyPages, wall)
+		fillStageMeans(&res, repl)
 		res.BackupUtil = repl.Backup.CPUBusy.Seconds() / wall
 	case MC:
 		mc.Stop()
@@ -249,6 +264,12 @@ func fillStats(res *RunResult, stop, state, dirty *metrics.Stream, wall float64)
 	res.DirtyMean = dirty.Mean()
 	if wall > 0 {
 		res.StopFrac = stop.Sum() / wall
+	}
+}
+
+func fillStageMeans(res *RunResult, repl *core.Replicator) {
+	for s := core.Stage(0); s < core.NumStages; s++ {
+		res.StageMeans[s] = repl.StageTimes[s].Mean()
 	}
 }
 

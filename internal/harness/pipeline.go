@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+
+	"nilicon/internal/core"
+	"nilicon/internal/metrics"
+	"nilicon/internal/simtime"
+	"nilicon/internal/workloads"
+)
+
+// PipelineRow is one transfer-mode measurement of the pipeline ablation.
+type PipelineRow struct {
+	Name     string
+	Overhead float64 // relative execution-time increase on streamcluster
+	StopMean simtime.Duration
+	// Stage means (virtual time) for the transfer and the end-to-end
+	// output-commit latency.
+	TransferMean simtime.Duration
+	CommitMean   simtime.Duration
+}
+
+// RunPipelineAblation measures how the epoch pipeline's transfer mode
+// affects streamcluster overhead: strict stop-and-copy (container frozen
+// until the state reaches the backup), the paper's staging buffer
+// (§V-D), and the overlapped pipelined transfer (CoW pages stream while
+// the next epoch executes). Overhead must not increase down the rows,
+// and the pipelined row must strictly beat both others (its pause
+// excludes the dirty-page copy); output release is gated on the
+// backup's ack in all three.
+func RunPipelineAblation(rc RunConfig) ([]PipelineRow, *metrics.Table) {
+	rc.defaults()
+	stock := RunBatch(workloads.Streamcluster, Stock, rc)
+
+	stopCopy := core.AllOpts()
+	stopCopy.StagingBuffer = false
+	modes := []struct {
+		name string
+		opts core.OptSet
+	}{
+		{"Stop-and-copy (thaw waits for delivery)", stopCopy},
+		{"Staging buffer (§V-D)", core.AllOpts()},
+		{"Pipelined transfer (CoW streaming)", core.PipelinedOpts()},
+	}
+
+	var rows []PipelineRow
+	for _, m := range modes {
+		progressf("pipeline: %s...", m.name)
+		mrc := rc
+		opts := m.opts
+		mrc.Opts = &opts
+		res := RunBatch(workloads.Streamcluster, NiLiCon, mrc)
+		rows = append(rows, PipelineRow{
+			Name:         m.name,
+			Overhead:     Overhead(stock, res),
+			StopMean:     simtime.Duration(res.StopMean * float64(simtime.Second)),
+			TransferMean: simtime.Duration(res.StageMeans[core.StageTransfer] * float64(simtime.Second)),
+			CommitMean:   simtime.Duration(res.StageMeans[core.StageReleaseOutput] * float64(simtime.Second)),
+		})
+	}
+
+	tb := metrics.NewTable("Pipeline ablation: epoch transfer mode (streamcluster)",
+		"Transfer mode", "Overhead", "Mean stop", "Mean transfer", "Mean commit")
+	for _, r := range rows {
+		tb.AddRow(r.Name,
+			fmt.Sprintf("%.0f%%", r.Overhead*100),
+			fmt.Sprintf("%.1fms", float64(r.StopMean)/1e6),
+			fmt.Sprintf("%.1fms", float64(r.TransferMean)/1e6),
+			fmt.Sprintf("%.1fms", float64(r.CommitMean)/1e6))
+	}
+	return rows, tb
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"testing"
+
+	"nilicon/internal/core"
+	"nilicon/internal/simtime"
+)
+
+func TestPipelineAblationOverheadDrops(t *testing.T) {
+	rc := RunConfig{Measure: 2 * simtime.Second}
+	rows, tb := RunPipelineAblation(rc)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if tb == nil || tb.String() == "" {
+		t.Fatal("empty table")
+	}
+	stopCopy, staging, piped := rows[0], rows[1], rows[2]
+	// Down the rows, overhead must not increase; the pipelined transfer
+	// must strictly beat both non-overlapped modes (its pause excludes
+	// the dirty-page copy).
+	if staging.Overhead > stopCopy.Overhead*1.02 {
+		t.Fatalf("staging buffer raised overhead: %.1f%% → %.1f%%",
+			stopCopy.Overhead*100, staging.Overhead*100)
+	}
+	if piped.Overhead >= staging.Overhead || piped.Overhead >= stopCopy.Overhead {
+		t.Fatalf("pipelined transfer did not strictly cut overhead: stop-and-copy=%.1f%% staging=%.1f%% pipelined=%.1f%%",
+			stopCopy.Overhead*100, staging.Overhead*100, piped.Overhead*100)
+	}
+	if piped.StopMean >= staging.StopMean {
+		t.Fatalf("pipelined stop %.2fms not below staging %.2fms",
+			float64(piped.StopMean)/1e6, float64(staging.StopMean)/1e6)
+	}
+	for _, r := range rows {
+		if r.TransferMean <= 0 || r.CommitMean <= 0 {
+			t.Fatalf("%s: stage means missing: transfer=%v commit=%v", r.Name, r.TransferMean, r.CommitMean)
+		}
+		// Output release always waits for the ack: commit latency covers
+		// at least the transfer.
+		if r.CommitMean < r.TransferMean {
+			t.Fatalf("%s: commit %.2fms below transfer %.2fms", r.Name,
+				float64(r.CommitMean)/1e6, float64(r.TransferMean)/1e6)
+		}
+	}
+}
+
+func TestRunResultCarriesStageMeans(t *testing.T) {
+	rc := RunConfig{Measure: simtime.Second, Pipelined: true}
+	res, err := Run("redis", NiLiCon, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := core.Stage(0); s < core.NumStages; s++ {
+		if s == core.StageThaw {
+			continue // zero under overlapped transfer
+		}
+		if res.StageMeans[s] <= 0 {
+			t.Fatalf("stage %v mean = %v, want >0", s, res.StageMeans[s])
+		}
+	}
+	if res.StageMeans[core.StageThaw] != 0 {
+		t.Fatalf("Thaw mean = %v under overlapped transfer, want 0", res.StageMeans[core.StageThaw])
+	}
+}
+
+func TestValidationPassesPipelined(t *testing.T) {
+	results, _ := RunValidationOpts([]string{"netstress", "redis", "streamcluster"}, 2, 6*simtime.Second, 77, true)
+	for _, r := range results {
+		if !r.Passed {
+			t.Fatalf("pipelined validation failed: %+v", r)
+		}
+	}
+}
+
+func TestTimelineHasStageColumns(t *testing.T) {
+	csv, err := RunTimeline("redis", RunConfig{Measure: simtime.Second, Pipelined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := csv[:len("epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages,transfer_us,ack_us,commit_us")]
+	if header != "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages,transfer_us,ack_us,commit_us" {
+		t.Fatalf("timeline header = %q", header)
+	}
+}

@@ -231,6 +231,12 @@ func (l *Link) TransferExpress(size int64, done func()) simtime.Time {
 	return deliver
 }
 
+// Latency returns the link's propagation latency, the gap between the
+// end of serialization and delivery. Schedulers that stream a transfer
+// as back-to-back chunks use this to submit the next chunk exactly when
+// the previous one finishes serializing, keeping the link saturated.
+func (l *Link) Latency() simtime.Duration { return l.latency }
+
 // SetDown cuts or restores the link; deliveries due while the link is
 // down are lost (fail-stop fault emulation blocks all primary traffic,
 // §VII-A).

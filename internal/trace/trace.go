@@ -23,6 +23,14 @@ type EpochRecord struct {
 	SockColl   simtime.Duration
 	StateBytes int64
 	DirtyPages int
+
+	// Pipeline stage timings: how long the state transfer occupied the
+	// replication link, how long the primary waited for the backup's
+	// acknowledgment after delivery, and the end-to-end output-commit
+	// latency (epoch boundary → buffered output released).
+	Transfer simtime.Duration
+	AckWait  simtime.Duration
+	Commit   simtime.Duration
 }
 
 // Timeline accumulates epoch records.
@@ -42,11 +50,11 @@ func (tl *Timeline) Records() []EpochRecord { return tl.records }
 // WriteCSV emits the series with a header row. Durations are in
 // microseconds, the timestamp in milliseconds.
 func (tl *Timeline) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages"); err != nil {
+	if _, err := fmt.Fprintln(w, "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages,transfer_us,ack_us,commit_us"); err != nil {
 		return err
 	}
 	for _, r := range tl.records {
-		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			r.Epoch,
 			float64(r.At)/1e6,
 			r.Stop.Microseconds(),
@@ -54,7 +62,10 @@ func (tl *Timeline) WriteCSV(w io.Writer) error {
 			r.MemCopy.Microseconds(),
 			r.SockColl.Microseconds(),
 			r.StateBytes,
-			r.DirtyPages)
+			r.DirtyPages,
+			r.Transfer.Microseconds(),
+			r.AckWait.Microseconds(),
+			r.Commit.Microseconds())
 		if err != nil {
 			return err
 		}

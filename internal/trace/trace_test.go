@@ -14,6 +14,8 @@ func TestTimelineCSV(t *testing.T) {
 		Stop: 5 * simtime.Millisecond, FreezeWait: 100 * simtime.Microsecond,
 		MemCopy: 300 * simtime.Microsecond, SockColl: 200 * simtime.Microsecond,
 		StateBytes: 1 << 20, DirtyPages: 250,
+		Transfer: 900 * simtime.Microsecond, AckWait: 60 * simtime.Microsecond,
+		Commit: 6 * simtime.Millisecond,
 	})
 	tl.Record(EpochRecord{Epoch: 2, At: simtime.Time(128 * simtime.Millisecond)})
 	var b strings.Builder
@@ -28,7 +30,7 @@ func TestTimelineCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "epoch,at_ms,stop_us") {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[1] != "1,64.000,5000,100,300,200,1048576,250" {
+	if lines[1] != "1,64.000,5000,100,300,200,1048576,250,900,60,6000" {
 		t.Fatalf("row = %q", lines[1])
 	}
 	if tl.Len() != 2 {
