@@ -14,6 +14,8 @@
 //	table6         Single-client response latency
 //	validate       §VII-A fault-injection validation
 //	pipeline       Epoch-pipeline transfer-mode ablation (streamcluster)
+//	chaos          Seeded deterministic fault campaign with invariant
+//	               oracles (-sweep for the full seed × option-set matrix)
 //	scale-threads  Streamcluster 1..32 threads
 //	scale-clients  Lighttpd 2..128 clients
 //	scale-procs    Lighttpd 1..8 processes
@@ -32,6 +34,8 @@ import (
 	"os"
 	"time"
 
+	"nilicon/internal/chaos"
+	"nilicon/internal/core"
 	"nilicon/internal/harness"
 	"nilicon/internal/report"
 	"nilicon/internal/simtime"
@@ -46,8 +50,12 @@ func main() {
 	bench := fs.String("bench", "redis", "benchmark for the timeline command")
 	runLen := fs.Duration("runlen", 20*time.Second, "validation run length (paper: 60s, 50 runs)")
 	pipelined := fs.Bool("pipeline", false, "enable the overlapped (pipelined) state transfer")
+	seeds := fs.Int("seeds", 20, "chaos: campaigns per option set in sweep mode")
+	optsName := fs.String("opts", "all", "chaos: option set (basic|stop-and-copy|all|pipelined)")
+	sweep := fs.Bool("sweep", false, "chaos: run the full seed × option-set sweep instead of one campaign")
+	chaosDur := fs.Duration("chaos-duration", 1500*time.Millisecond, "chaos: fault-injection window (virtual)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
+		fmt.Fprintf(os.Stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|chaos|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
 		fs.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -86,6 +94,36 @@ func main() {
 		case "pipeline":
 			_, tb := harness.RunPipelineAblation(rc)
 			fmt.Println(tb)
+		case "chaos":
+			if *sweep {
+				results, tb := harness.RunChaosSweep(*seeds, *seed, simtime.Duration(*chaosDur))
+				fmt.Println(tb)
+				for _, res := range results {
+					if !res.Passed {
+						os.Exit(1)
+					}
+				}
+				return
+			}
+			var opts *core.OptSet
+			for _, step := range harness.ChaosOptSets() {
+				if step.Name == *optsName {
+					o := step.Opts
+					opts = &o
+				}
+			}
+			if opts == nil {
+				fmt.Fprintf(os.Stderr, "unknown option set %q\n", *optsName)
+				os.Exit(2)
+			}
+			res := chaos.VerifySeed(chaos.Config{
+				Seed: *seed, Opts: *opts, OptName: *optsName,
+				Duration: simtime.Duration(*chaosDur),
+			})
+			fmt.Print(res.Trace)
+			if !res.Passed {
+				os.Exit(1)
+			}
 		case "scale-threads":
 			_, tb := harness.RunScaleThreads(nil, rc)
 			fmt.Println(tb)

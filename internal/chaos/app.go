@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"strings"
+
+	"nilicon/internal/container"
+	"nilicon/internal/core"
+	"nilicon/internal/simkernel"
+	"nilicon/internal/simnet"
+)
+
+// kvApp is the campaign workload: a newline-framed "SET k v" / "GET k"
+// server on port 6379, processing requests in the data callback. Every
+// SET touches container memory so checkpoints carry real dirty pages.
+type kvApp struct {
+	data map[string]string
+	proc *simkernel.Process
+	vma  *simkernel.VMA
+	seq  byte
+}
+
+func newKVApp(ctr *container.Container) *kvApp {
+	a := &kvApp{data: make(map[string]string)}
+	proc := ctr.AddProcess("kvserver", 3)
+	a.proc = proc
+	a.vma = proc.Mem.Mmap(64*simkernel.PageSize, simkernel.ProtRead|simkernel.ProtWrite, "", proc.PID, ctr.ID)
+	_ = proc.Mem.Touch(a.vma, 0, 64, 1)
+	a.attach(ctr)
+	return a
+}
+
+func (a *kvApp) SnapshotState() any {
+	cp := make(map[string]string, len(a.data))
+	for k, v := range a.data {
+		cp[k] = v
+	}
+	return cp
+}
+
+func (a *kvApp) RestoreState(s any) {
+	src := s.(map[string]string)
+	a.data = make(map[string]string, len(src))
+	for k, v := range src {
+		a.data[k] = v
+	}
+}
+
+func (a *kvApp) handle(s *simnet.Socket) {
+	for {
+		buf := string(s.Peek())
+		nl := strings.IndexByte(buf, '\n')
+		if nl < 0 {
+			return
+		}
+		line := strings.TrimSpace(string(s.ReadN(nl + 1)))
+		parts := strings.SplitN(line, " ", 3)
+		switch parts[0] {
+		case "SET":
+			a.data[parts[1]] = parts[2]
+			a.seq++
+			_ = a.proc.Mem.Touch(a.vma, int(a.seq)%64, 2, a.seq)
+			s.Send([]byte("OK\n"))
+		case "GET":
+			v, ok := a.data[parts[1]]
+			if !ok {
+				v = "(nil)"
+			}
+			s.Send([]byte(v + "\n"))
+		}
+	}
+}
+
+// attach installs the app on a container (fresh or restored).
+func (a *kvApp) attach(ctr *container.Container) {
+	ctr.App = a
+	ctr.Stack.Listen(6379, func(s *simnet.Socket) { s.OnData = a.handle })
+	for _, s := range ctr.Stack.Sockets() {
+		s.OnData = a.handle
+		if s.Available() > 0 {
+			a.handle(s)
+		}
+	}
+}
+
+// kvClient drives the workload over a real simulated TCP connection and
+// accumulates newline-framed replies.
+type kvClient struct {
+	sock    *simnet.Socket
+	replies []string
+	partial string
+}
+
+func newKVClient(cl *core.Cluster, ip, serverIP simnet.Addr) *kvClient {
+	c := &kvClient{}
+	st := cl.NewClient(ip)
+	st.Connect(serverIP, 6379, func(s *simnet.Socket) {
+		c.sock = s
+		s.OnData = func(s *simnet.Socket) {
+			c.partial += string(s.ReadAll())
+			for {
+				nl := strings.IndexByte(c.partial, '\n')
+				if nl < 0 {
+					return
+				}
+				c.replies = append(c.replies, c.partial[:nl])
+				c.partial = c.partial[nl+1:]
+			}
+		}
+	})
+	return c
+}
+
+func (c *kvClient) send(line string) { c.sock.Send([]byte(line + "\n")) }
+
+// okReplies counts SET acknowledgments received so far.
+func (c *kvClient) okReplies() int {
+	n := 0
+	for _, r := range c.replies {
+		if r == "OK" {
+			n++
+		}
+	}
+	return n
+}

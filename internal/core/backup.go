@@ -86,6 +86,13 @@ type BackupAgent struct {
 	committed    uint64
 	hasCommitted bool
 
+	// resyncRequested is set while a NACK is outstanding: the backup saw
+	// an out-of-order epoch (images lost to a link outage) and asked the
+	// primary for a full resynchronization baseline. Re-sent on every
+	// detector tick until the baseline commits, so a dropped NACK cannot
+	// wedge the protocol.
+	resyncRequested bool
+
 	pending map[uint64]*criu.Image
 
 	lastHeartbeat simtime.Time
@@ -140,6 +147,11 @@ func (b *BackupAgent) checkHeartbeat() {
 	if !b.monitoring || b.recovered {
 		return
 	}
+	if b.resyncRequested {
+		// The NACK (or the baseline it asked for) may itself have been
+		// lost; keep asking until a baseline commits.
+		b.sendResync()
+	}
 	// Until the initial synchronization commits there is nothing to
 	// recover to; the warm spare arms its detector at first commit.
 	if !b.hasCommitted {
@@ -163,6 +175,14 @@ func (b *BackupAgent) receiveState(epoch uint64, img *criu.Image) {
 
 // tryAck acknowledges an epoch once both its container state and its
 // disk barrier have arrived, then commits it (§IV).
+//
+// Commits are strictly in epoch order. An incremental image is a delta
+// against its predecessor: committing epoch e+2 when e+1 was lost on
+// the link would silently merge a delta onto the wrong base. On a gap,
+// the backup NACKs and waits for a full resynchronization baseline
+// (full image with a complete fs-cache dump, plus a disk snapshot);
+// only such a baseline may commit out of order, resetting the buffered
+// state it supersedes.
 func (b *BackupAgent) tryAck(epoch uint64) {
 	img, ok := b.pending[epoch]
 	if !ok || b.recovered {
@@ -171,10 +191,62 @@ func (b *BackupAgent) tryAck(epoch uint64) {
 	if !b.cl.DRBDBackup.BarrierReceived(epoch) {
 		return
 	}
+	if img.DiskResync {
+		// The lost epochs' disk writes never arrived; this epoch is
+		// acknowledgeable only once the shipped snapshot is applied.
+		if rs, ok2 := b.cl.DRBDBackup.ResyncedThrough(); !ok2 || rs < epoch {
+			return
+		}
+	}
+	baseline := img.Full && img.FSComplete
+	inOrder := (!b.hasCommitted && img.Full) ||
+		(b.hasCommitted && epoch == b.committed+1)
+	if !inOrder && !baseline {
+		if !b.resyncRequested {
+			b.resyncRequested = true
+			b.sendResync()
+		}
+		return
+	}
+	if baseline && b.hasCommitted {
+		b.resetToBaseline(epoch)
+	}
 	delete(b.pending, epoch)
 	r := b.r
 	b.cl.AckLink.Transfer(16, func() { r.ackReceived(epoch) })
 	b.commit(epoch, img)
+	if baseline {
+		b.resyncRequested = false
+	}
+	// A gap may have buffered successors; commit any now-in-order run.
+	b.tryAck(epoch + 1)
+}
+
+// sendResync NACKs the current state to the primary: epochs were lost
+// and only a full resynchronization baseline can resume commits.
+func (b *BackupAgent) sendResync() {
+	r := b.r
+	b.cl.AckLink.TransferExpress(16, func() { r.nackReceived() })
+}
+
+// resetToBaseline discards buffered state a resynchronization baseline
+// supersedes: the page store and fs-cache merge are rebuilt from the
+// full image about to commit, and pending images older than the
+// baseline can never commit. The infrequent-state cache survives — the
+// primary's tracker guarantees a fresh copy was shipped if it changed.
+func (b *BackupAgent) resetToBaseline(epoch uint64) {
+	if b.cfg.Opts.OptimizeCRIU {
+		b.store = criu.NewRadixStore()
+	} else {
+		b.store = criu.NewListStore()
+	}
+	b.fsPages = make(map[fsPageKey]simfs.PageEntry)
+	b.fsInodes = make(map[int]simfs.InodeEntry)
+	for e := range b.pending {
+		if e < epoch {
+			delete(b.pending, e)
+		}
+	}
 }
 
 // commit merges the acknowledged checkpoint into the buffered committed
@@ -205,9 +277,15 @@ func (b *BackupAgent) commit(epoch uint64, img *criu.Image) {
 	for _, ie := range img.FSCache.Inodes {
 		b.fsInodes[ie.Ino] = ie
 	}
-	if !img.InfrequentCached || !b.haveInfrequent {
+	if !img.InfrequentCached {
 		b.lastInfrequent = img.Infrequent
 		b.haveInfrequent = true
+	} else if !b.haveInfrequent {
+		// A cache marker refers to infrequent state shipped with an
+		// earlier image; with no such image ever received, recording the
+		// zero value would make a later restore silently rebuild the
+		// container without cgroups, namespaces or mounts.
+		panic("core: cached infrequent-state marker received before any full collection")
 	}
 	// Page contents now live in the store; keep only the metadata.
 	for pi := range img.Procs {
@@ -257,10 +335,8 @@ func (b *BackupAgent) buildRestoreImage() (*criu.Image, error) {
 		p.Pages = nil
 		lo := uint64(pi) << 28
 		hi := uint64(pi+1) << 28
-		b.store.ForEach(func(key uint64, data []byte) {
-			if key >= lo && key < hi {
-				p.Pages = append(p.Pages, criu.PageImage{PN: key - lo, Data: data})
-			}
+		b.store.ForRange(lo, hi, func(key uint64, data []byte) {
+			p.Pages = append(p.Pages, criu.PageImage{PN: key - lo, Data: data})
 		})
 		img.Procs = append(img.Procs, p)
 	}

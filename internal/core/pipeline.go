@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nilicon/internal/criu"
+	"nilicon/internal/simdisk"
 	"nilicon/internal/simtime"
 	"nilicon/internal/trace"
 )
@@ -44,6 +45,10 @@ type epochRun struct {
 	// cowTax is the copy-on-write runtime tax charged mid-epoch when
 	// PipelinedTransfer defers the dirty-page copy out of the pause.
 	cowTax simtime.Duration
+
+	// lossy marks a run whose own transfer was dropped on the link; it is
+	// retired by a later cumulative ack and excluded from measurement.
+	lossy bool
 }
 
 // start dispatches to a stage's implementation. The driver (advance)
@@ -123,6 +128,15 @@ func (run *epochRun) freezeCollect() {
 	cl := r.Cluster
 	costs := r.Ctr.Host.Kernel.Costs
 
+	// A pending resync request turns this checkpoint into the
+	// resynchronization baseline: full image, complete fs-cache dump, and
+	// a disk snapshot on the same flow.
+	resync := r.resyncArmed
+	if resync {
+		r.resyncArmed = false
+		r.engine.ForceFull()
+	}
+
 	img, stats := r.engine.Checkpoint()
 	run.img, run.stats = img, stats
 
@@ -152,6 +166,44 @@ func (run *epochRun) freezeCollect() {
 	// Buffered output generated during this epoch is released only when
 	// the backup acknowledges this checkpoint.
 	r.Ctr.Qdisc.Rotate(run.epoch)
+
+	if resync {
+		// The DRBD writes of the lost epochs never reached the backup, so
+		// the barrier stream alone cannot repair the disk: snapshot the
+		// primary disk (the container is frozen; content is stable through
+		// epoch run.epoch) and ship it ahead of the image on the same flow
+		// — FIFO ordering delivers the snapshot first.
+		img.DiskResync = true
+		r.Resyncs.Inc()
+		r.resyncPending = run.epoch
+		r.resyncPendingB = true
+		epoch := run.epoch
+		snap := cl.Primary.Disk.Clone(r.Ctr.ID + "-resync")
+		snapBytes := int64(snap.Blocks()) * simdisk.BlockSize
+		var chunks []int64
+		for snapBytes > xferChunkBytes {
+			chunks = append(chunks, xferChunkBytes)
+			snapBytes -= xferChunkBytes
+		}
+		chunks = append(chunks, snapBytes)
+		cl.Xfer.SubmitReq(r.Ctr.ID, chunks, func() {
+			// A snapshot still in flight when failover promotes the
+			// backup is dead weight; never apply it to a promoted disk.
+			if r.stopped || r.Backup.recovered {
+				return
+			}
+			if err := cl.DRBDBackup.ApplyResync(snap, epoch); err != nil {
+				panic(err)
+			}
+		}, func() {
+			// Snapshot lost to another outage: this resync will never be
+			// acknowledged; arm a fresh one.
+			r.resyncPendingB = false
+			if !r.stopped {
+				r.resyncArmed = true
+			}
+		})
+	}
 
 	r.LastStats = stats
 	run.pauseEnd = run.doneAt[StageBlockInput].Add(stop)
@@ -199,8 +251,24 @@ func (run *epochRun) transfer() {
 		start := cl.Clock.Now()
 		b := r.Backup
 		epoch, img := run.epoch, run.img
-		cl.Xfer.Submit(r.Ctr.ID, img.StreamChunks(xferChunkBytes), func() {
+		cl.Xfer.SubmitReq(r.Ctr.ID, img.StreamChunks(xferChunkBytes), func() {
 			b.receiveState(epoch, img)
+			now := cl.Clock.Now()
+			run.complete(StageTransfer, now, now.Sub(start))
+		}, func() {
+			// The image was (partly) lost to a link cut: the backup will
+			// never see this epoch. Mark the run lossy, arm a resync, and
+			// complete the transfer stage so a stop-and-copy container is
+			// not left frozen forever waiting on a delivery that cannot
+			// happen. Output stays buffered: AwaitAck completes only via a
+			// later cumulative ack.
+			run.lossy = true
+			if !r.stopped {
+				r.resyncArmed = true
+				if r.resyncPendingB && epoch == r.resyncPending {
+					r.resyncPendingB = false
+				}
+			}
 			now := cl.Clock.Now()
 			run.complete(StageTransfer, now, now.Sub(start))
 		})
@@ -229,6 +297,10 @@ func (run *epochRun) releaseOutput() {
 	}
 	now := r.Cluster.Clock.Now()
 	r.Ctr.Qdisc.Release(run.epoch)
+	if !r.hasReleased || run.epoch > r.released {
+		r.released = run.epoch
+		r.hasReleased = true
+	}
 	run.complete(StageReleaseOutput, now, now.Sub(run.startAt))
 	run.record()
 }
@@ -239,7 +311,7 @@ func (run *epochRun) releaseOutput() {
 // time is known. The initial full synchronization is one-time setup;
 // Tables III/IV report steady-state incremental checkpoints.
 func (run *epochRun) recordStop() {
-	if run.img.Full {
+	if run.img.Full || run.lossy {
 		return
 	}
 	r := run.r
@@ -257,7 +329,7 @@ func (run *epochRun) recordStop() {
 // record adds the per-stage samples and the timeline row once the whole
 // pipeline (through output release) has run for this epoch.
 func (run *epochRun) record() {
-	if run.img.Full {
+	if run.img.Full || run.lossy {
 		return
 	}
 	r := run.r
@@ -277,6 +349,7 @@ func (run *epochRun) record() {
 			Transfer:   run.dur[StageTransfer],
 			AckWait:    run.dur[StageAwaitAck],
 			Commit:     run.dur[StageReleaseOutput],
+			Inflight:   len(r.inflight),
 		})
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"nilicon/internal/container"
 	"nilicon/internal/criu"
 	"nilicon/internal/metrics"
@@ -25,8 +27,26 @@ type Replicator struct {
 	// (with overlapped transfer, several can be in flight at once).
 	inflight map[uint64]*epochRun
 
-	running bool
-	stopped bool
+	running  bool
+	stopped  bool
+	quiesced bool
+
+	// resyncArmed is set when the backup reports lost epochs (NACK) or a
+	// transfer is dropped on the link; the next checkpoint is then a full
+	// resynchronization baseline (full image, complete fs-cache dump,
+	// disk snapshot).
+	resyncArmed bool
+	// resyncPending tracks an in-flight resync epoch: further NACKs are
+	// ignored until it is acknowledged or its transfer is dropped.
+	resyncPending  uint64
+	resyncPendingB bool
+
+	// released is the highest epoch whose output has been released.
+	released    uint64
+	hasReleased bool
+
+	// Resyncs counts full resynchronizations triggered by lost epochs.
+	Resyncs metrics.Counter
 
 	// Virtual-time measurements, aggregated by the harness into Tables
 	// I, III and IV.
@@ -150,7 +170,7 @@ func (r *Replicator) heartbeat() {
 // when — which stages overlap container execution is a property of the
 // configuration's dependency edges, not of this function's shape.
 func (r *Replicator) runEpoch() {
-	if r.stopped {
+	if r.stopped || r.quiesced {
 		return
 	}
 	run := &epochRun{
@@ -165,23 +185,82 @@ func (r *Replicator) runEpoch() {
 }
 
 // ackReceived is called when the backup's acknowledgment of epoch e
-// arrives on the ack link; it completes that epoch's AwaitAck stage,
-// which unblocks ReleaseOutput.
+// arrives on the ack link. Acks are cumulative: the backup commits in
+// epoch order, so an ack for e vouches for every epoch <= e — this is
+// what lets a single post-resync ack retire the pipeline runs of all
+// the epochs that were lost on the link (their own acks never existed).
 func (r *Replicator) ackReceived(e uint64) {
 	if r.stopped {
 		return
 	}
-	run := r.inflight[e]
-	if run == nil {
+	if r.resyncPendingB && e >= r.resyncPending {
+		r.resyncPendingB = false
+	}
+	var covered []uint64
+	for ep := range r.inflight {
+		if ep <= e {
+			covered = append(covered, ep)
+		}
+	}
+	if len(covered) == 0 {
 		// No pipeline record (replication restarted across a failover);
 		// the backup only acknowledges committed epochs, so releasing
 		// directly preserves the output-commit rule.
 		r.Ctr.Qdisc.Release(e)
+		if !r.hasReleased || e > r.released {
+			r.released = e
+			r.hasReleased = true
+		}
 		return
 	}
-	delete(r.inflight, e)
+	sort.Slice(covered, func(i, j int) bool { return covered[i] < covered[j] })
 	now := r.Cluster.Clock.Now()
-	run.complete(StageAwaitAck, now, now.Sub(run.doneAt[StageTransfer]))
+	for _, ep := range covered {
+		run := r.inflight[ep]
+		delete(r.inflight, ep)
+		if run.done[StageTransfer] {
+			run.complete(StageAwaitAck, now, now.Sub(run.doneAt[StageTransfer]))
+		} else {
+			// The epoch's own transfer was lost; it is covered by a later
+			// resync image. Retire the run without pretending it measured
+			// anything.
+			run.lossy = true
+			run.complete(StageTransfer, now, 0)
+			run.complete(StageAwaitAck, now, 0)
+		}
+	}
+}
+
+// nackReceived is called when the backup reports an out-of-order epoch
+// (it missed one or more images to a link outage): arm a full
+// resynchronization at the next epoch boundary. Repeat NACKs while a
+// resync is already armed or in flight are ignored — the backup re-sends
+// its NACK on every detector tick until the baseline lands.
+func (r *Replicator) nackReceived() {
+	if r.stopped || r.quiesced || r.resyncArmed || r.resyncPendingB {
+		return
+	}
+	r.resyncArmed = true
+}
+
+// InflightEpochs returns the number of epochs whose pipeline has not yet
+// released output. During an outage this is the stalled backlog; after
+// heal and quiesce it must drain to zero.
+func (r *Replicator) InflightEpochs() int { return len(r.inflight) }
+
+// ReleasedEpoch returns the highest epoch whose buffered output has been
+// released to clients.
+func (r *Replicator) ReleasedEpoch() (uint64, bool) { return r.released, r.hasReleased }
+
+// Quiesce stops starting new epochs while leaving everything else —
+// in-flight transfers, acks, heartbeats, the backup — running. The chaos
+// engine uses this to let the pipeline drain and then assert that
+// nothing is retained.
+func (r *Replicator) Quiesce() {
+	r.quiesced = true
+	if r.epochEvent != nil {
+		r.epochEvent.Cancel()
+	}
 }
 
 // applyRuntimeTax steals the configured runtime-overhead time from the

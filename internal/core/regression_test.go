@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"nilicon/internal/criu"
+	"nilicon/internal/simkernel"
+	"nilicon/internal/simnet"
+	"nilicon/internal/simtime"
+)
+
+// TestReprotectReusesTransferScheduler: the replication link has exactly
+// one TransferScheduler multiplexing it. Reprotect used to stack a
+// second scheduler on the same link, double-booking its serialization
+// window against any transfer still in flight from the old cluster.
+func TestReprotectReusesTransferScheduler(t *testing.T) {
+	env := newTestEnv(t, DefaultConfig())
+	env.repl.Start()
+	env.clock.RunFor(500 * simtime.Millisecond)
+
+	// First failover.
+	env.ctr.Disconnect()
+	env.cl.ReplLink.SetDown(true)
+	env.cl.AckLink.SetDown(true)
+	env.clock.RunFor(3 * simtime.Second)
+	if !env.repl.Backup.Recovered() {
+		t.Fatal("failover missing")
+	}
+	restored := env.repl.Backup.RestoredCtr
+	env.ctr.Stop()
+	env.cl.ReplLink.SetDown(false)
+	env.cl.AckLink.SetDown(false)
+
+	// A transfer still queued on the old scheduler when reprotect runs:
+	// stale work from the dead primary's generation.
+	env.cl.Xfer.SubmitBytes("stale/leftover", 8<<20, nil)
+	if env.cl.Xfer.QueuedBytes() == 0 {
+		t.Fatal("setup: no queued bytes on old scheduler")
+	}
+
+	app := restored.App.(*kvApp)
+	cfg2 := DefaultConfig()
+	cfg2.Reattach = func(rc RestoredContainer, state any) {
+		fresh := &kvApp{}
+		fresh.RestoreState(state)
+		fresh.proc = rc.Procs[0]
+		fresh.vma = rc.Procs[0].Mem.FindVMA(app.vma.Start)
+		fresh.attach(rc)
+	}
+	swapped, repl2, err := Reprotect(env.cl, restored, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped.Xfer != env.cl.Xfer {
+		t.Fatal("reprotect created a second TransferScheduler on the shared link")
+	}
+	repl2.Start()
+	env.clock.RunFor(2 * simtime.Second)
+	if q := swapped.Xfer.QueuedBytes(); q != 0 {
+		t.Fatalf("queued bytes after resync = %d, want 0", q)
+	}
+	if f := swapped.Xfer.Flows(); f != 0 {
+		t.Fatalf("retained flows after resync = %d, want 0", f)
+	}
+	if repl2.Epochs() < 10 {
+		t.Fatalf("second generation made no progress: %d epochs", repl2.Epochs())
+	}
+}
+
+// TestSchedulerEvictsDrainedFlows: drained flows used to stay in the
+// scheduler's map and round-robin order forever — a leak that also
+// skewed fairness against flows created later.
+func TestSchedulerEvictsDrainedFlows(t *testing.T) {
+	clock := simtime.NewClock()
+	link := simnet.NewLink(clock, 50*simtime.Microsecond, 1_250_000_000)
+	s := NewTransferScheduler(clock, link)
+
+	done := 0
+	for i := 0; i < 5; i++ {
+		s.SubmitBytes(fmt.Sprintf("flow%d", i), 1<<20, func() { done++ })
+	}
+	clock.RunFor(simtime.Second)
+	if done != 5 {
+		t.Fatalf("completions = %d, want 5", done)
+	}
+	if q := s.QueuedBytes(); q != 0 {
+		t.Fatalf("QueuedBytes = %d after drain", q)
+	}
+	if f := s.Flows(); f != 0 {
+		t.Fatalf("Flows = %d after drain, want 0 (drained flows must be evicted)", f)
+	}
+
+	// Fairness after eviction: a fresh flow still gets service.
+	fresh := false
+	s.SubmitBytes("late", 1<<20, func() { fresh = true })
+	clock.RunFor(simtime.Second)
+	if !fresh {
+		t.Fatal("flow submitted after eviction never completed")
+	}
+	if f := s.Flows(); f != 0 {
+		t.Fatalf("Flows = %d after second drain", f)
+	}
+}
+
+// TestSchedulerEvictionKeepsRoundRobinFair: evicting a flow mid-rotation
+// must not skip the flows behind it.
+func TestSchedulerEvictionKeepsRoundRobinFair(t *testing.T) {
+	clock := simtime.NewClock()
+	link := simnet.NewLink(clock, 50*simtime.Microsecond, 1_250_000_000)
+	s := NewTransferScheduler(clock, link)
+
+	var order []string
+	mk := func(name string, n int64) {
+		s.SubmitBytes(name, n*xferChunkBytes, func() { order = append(order, name) })
+	}
+	mk("a", 1) // drains (and is evicted) first
+	mk("b", 3)
+	mk("c", 3)
+	clock.RunFor(simtime.Second)
+	if len(order) != 3 || order[0] != "a" {
+		t.Fatalf("completion order = %v", order)
+	}
+	// b and c each had 3 chunks interleaved round-robin; b was submitted
+	// first, so it must finish no later than c.
+	if order[1] != "b" || order[2] != "c" {
+		t.Fatalf("post-eviction completion order = %v, want [a b c]", order)
+	}
+}
+
+// TestCachedInfrequentBeforeFullPanics: a cache marker refers to
+// infrequent state shipped with an earlier image. Receiving one before
+// any full collection used to record the zero value silently; a restore
+// from that state would rebuild the container with no cgroups,
+// namespaces or mounts.
+func TestCachedInfrequentBeforeFullPanics(t *testing.T) {
+	env := newTestEnv(t, DefaultConfig())
+	b := env.repl.Backup
+	defer func() {
+		if recover() == nil {
+			t.Fatal("commit of cached-infrequent image before any full collection did not panic")
+		}
+	}()
+	b.commit(0, &criu.Image{ContainerID: "kv", InfrequentCached: true})
+}
+
+// TestMultiProcessRestoreImage: buildRestoreImage must hand each process
+// exactly its own pages (the store keys pack process index and page
+// number) — and do it via range visits, not a full-store scan per
+// process.
+func TestMultiProcessRestoreImage(t *testing.T) {
+	env := newTestEnv(t, DefaultConfig())
+	// Second process with its own touched pages.
+	proc2 := env.ctr.AddProcess("helper", 2)
+	vma2 := proc2.Mem.Mmap(32*simkernel.PageSize, simkernel.ProtRead|simkernel.ProtWrite, "", proc2.PID, env.ctr.ID)
+	_ = proc2.Mem.Touch(vma2, 0, 32, 9)
+
+	env.repl.Start()
+	env.clock.RunFor(500 * simtime.Millisecond)
+
+	env.ctr.Disconnect()
+	env.cl.ReplLink.SetDown(true)
+	env.cl.AckLink.SetDown(true)
+	env.clock.RunFor(3 * simtime.Second)
+	if !env.repl.Backup.Recovered() {
+		t.Fatal("failover missing")
+	}
+	restored := env.repl.Backup.RestoredCtr
+	if restored == nil {
+		t.Fatal("no restored container")
+	}
+	// kvserver + helper + the replicator's keepalive process.
+	if want := len(env.ctr.Procs); len(restored.Procs) != want {
+		t.Fatalf("restored %d processes, want %d", len(restored.Procs), want)
+	}
+	for i, p := range restored.Procs {
+		src := env.ctr.Procs[i]
+		for _, v := range src.Mem.VMAs() {
+			for pn := v.Start / simkernel.PageSize; pn < v.End/simkernel.PageSize; pn++ {
+				want := src.Mem.PageData(pn)
+				if want == nil {
+					continue
+				}
+				got := p.Mem.PageData(pn)
+				if got == nil {
+					t.Fatalf("proc %d page %#x missing after restore", i, pn)
+				}
+				if string(got) != string(want) {
+					t.Fatalf("proc %d page %#x differs after restore", i, pn)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkBuildRestoreImage measures restore-image assembly with many
+// processes: the per-process page extraction must be a range visit, not
+// a full-store scan per process (which made the whole build quadratic).
+func BenchmarkBuildRestoreImage(b *testing.B) {
+	env := newBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		img, err := env.repl.Backup.buildRestoreImage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(img.Procs) != benchProcs+1 { // +1: keepalive process
+			b.Fatalf("procs = %d", len(img.Procs))
+		}
+	}
+}
+
+const benchProcs = 24
+
+func newBenchEnv(b *testing.B) *testEnv {
+	b.Helper()
+	clock := simtime.NewClock()
+	cl := NewCluster(clock, ClusterParams{})
+	ctr := cl.NewProtectedContainer("kv", "10.0.0.10", 1)
+	app := &kvApp{data: make(map[string]string)}
+	proc := ctr.AddProcess("kvserver", 3)
+	app.proc = proc
+	app.vma = proc.Mem.Mmap(64*simkernel.PageSize, simkernel.ProtRead|simkernel.ProtWrite, "", proc.PID, ctr.ID)
+	_ = proc.Mem.Touch(app.vma, 0, 64, 1)
+	for i := 1; i < benchProcs; i++ {
+		p := ctr.AddProcess(fmt.Sprintf("w%d", i), 1)
+		v := p.Mem.Mmap(128*simkernel.PageSize, simkernel.ProtRead|simkernel.ProtWrite, "", p.PID, ctr.ID)
+		_ = p.Mem.Touch(v, 0, 128, byte(i))
+	}
+	app.attach(ctr)
+	repl := NewReplicator(cl, ctr, DefaultConfig())
+	repl.Start()
+	clock.RunFor(500 * simtime.Millisecond)
+	if _, ok := repl.Backup.CommittedEpoch(); !ok {
+		b.Fatal("no committed checkpoint")
+	}
+	return &testEnv{clock: clock, cl: cl, ctr: ctr, app: app, repl: repl}
+}
+
+// TestInflightDrainsAfterAckOutage: with the ack link cut, the backup
+// keeps committing but its acks are lost, so the primary's in-flight
+// backlog grows. Acks are cumulative — the first ack after heal must
+// retire the whole backlog (exact-match acks used to leak every epoch
+// whose individual ack was dropped) and release the buffered output in
+// epoch order.
+func TestInflightDrainsAfterAckOutage(t *testing.T) {
+	env := newTestEnv(t, DefaultConfig())
+	env.repl.Start()
+	env.clock.RunFor(500 * simtime.Millisecond)
+
+	env.cl.AckLink.SetDown(true)
+	env.clock.RunFor(300 * simtime.Millisecond)
+	if n := env.repl.InflightEpochs(); n < 5 {
+		t.Fatalf("inflight during ack outage = %d, want a growing backlog", n)
+	}
+	env.cl.AckLink.SetDown(false)
+	env.clock.RunFor(200 * simtime.Millisecond)
+
+	env.repl.Quiesce()
+	env.clock.RunFor(300 * simtime.Millisecond)
+	if n := env.repl.InflightEpochs(); n != 0 {
+		t.Fatalf("inflight after heal+quiesce = %d, want 0", n)
+	}
+	rel, relOK := env.repl.ReleasedEpoch()
+	com, comOK := env.repl.Backup.CommittedEpoch()
+	if !relOK || !comOK {
+		t.Fatalf("released=%v committed=%v", relOK, comOK)
+	}
+	if rel > com {
+		t.Fatalf("released epoch %d beyond committed %d", rel, com)
+	}
+	if com-rel > 1 {
+		t.Fatalf("released epoch %d lags committed %d after drain", rel, com)
+	}
+}
+
+// TestReplCutResyncsAndDrains: a replication-link cut long enough to
+// lose whole checkpoints (but short enough not to trip the failure
+// detector) must leave no permanent damage: the backup NACKs the gap,
+// the primary ships a full resynchronization baseline, commits resume,
+// and the backlog drains.
+func TestReplCutResyncsAndDrains(t *testing.T) {
+	for _, opts := range []struct {
+		name string
+		o    OptSet
+	}{{"all", AllOpts()}, {"pipelined", PipelinedOpts()}, {"basic", BasicOpts()}} {
+		t.Run(opts.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Opts = opts.o
+			env := newTestEnv(t, cfg)
+			env.repl.Start()
+			env.clock.RunFor(500 * simtime.Millisecond)
+
+			env.cl.ReplLink.SetDown(true)
+			env.clock.RunFor(50 * simtime.Millisecond)
+			env.cl.ReplLink.SetDown(false)
+			env.clock.RunFor(500 * simtime.Millisecond)
+
+			if env.repl.Backup.Recovered() {
+				t.Fatal("50ms cut must not trigger failover")
+			}
+			env.repl.Quiesce()
+			env.clock.RunFor(300 * simtime.Millisecond)
+			if n := env.repl.InflightEpochs(); n != 0 {
+				t.Fatalf("inflight after resync+quiesce = %d, want 0", n)
+			}
+			rel, _ := env.repl.ReleasedEpoch()
+			com, comOK := env.repl.Backup.CommittedEpoch()
+			if !comOK || com-rel > 1 {
+				t.Fatalf("released %d vs committed %d after resync", rel, com)
+			}
+		})
+	}
+}

@@ -28,6 +28,12 @@ func Reprotect(old *Cluster, ctr *container.Container, cfg Config) (*Cluster, *R
 		return nil, nil, fmt.Errorf("core: reprotect requires the replication links to be up")
 	}
 
+	// The replication link has exactly one scheduler multiplexing it;
+	// reuse the old cluster's rather than stacking a second one on the
+	// same link (two independent pumps double-book the link's serialization
+	// window and break chunk-level fairness). Queued work belongs to the
+	// dead primary and is dropped.
+	old.Xfer.Reset()
 	swapped := &Cluster{
 		Clock:    old.Clock,
 		Switch:   old.Switch,
@@ -35,7 +41,7 @@ func Reprotect(old *Cluster, ctr *container.Container, cfg Config) (*Cluster, *R
 		Backup:   old.Primary,
 		ReplLink: old.ReplLink,
 		AckLink:  old.AckLink,
-		Xfer:     NewTransferScheduler(old.Clock, old.ReplLink),
+		Xfer:     old.Xfer,
 	}
 
 	// DRBD initial synchronization: the new backup's disk starts as a

@@ -11,12 +11,16 @@ import (
 // that per-chunk bookkeeping is negligible.
 const xferChunkBytes = 256 << 10
 
-// xferReq is one queued transfer: a sequence of chunk sizes and a
-// completion callback that fires when the last chunk is delivered.
+// xferReq is one queued transfer: a sequence of chunk sizes, a
+// completion callback that fires when the last chunk is delivered, and
+// an optional drop callback that fires (once) if any chunk's delivery is
+// lost to a link outage — a half-streamed transfer must never complete.
 type xferReq struct {
-	chunks []int64
-	next   int
-	done   func()
+	chunks  []int64
+	next    int
+	done    func()
+	dropped func()
+	failed  bool
 }
 
 // xferFlow is one traffic source (one replicator's container, a disk
@@ -55,6 +59,15 @@ func NewTransferScheduler(clock *simtime.Clock, link *simnet.Link) *TransferSche
 // therefore done) is dropped if the link is down — a half-streamed
 // checkpoint must never be acknowledged.
 func (s *TransferScheduler) Submit(flow string, chunks []int64, done func()) {
+	s.SubmitReq(flow, chunks, done, nil)
+}
+
+// SubmitReq is Submit with a drop callback: dropped fires (at most once,
+// at the failed chunk's would-be delivery time) if any chunk of the
+// transfer is lost to a link outage. The sender uses this to learn that
+// the receiver will never see the transfer and to arrange a resend or
+// resynchronization instead of waiting for an acknowledgment forever.
+func (s *TransferScheduler) SubmitReq(flow string, chunks []int64, done, dropped func()) {
 	f := s.flows[flow]
 	if f == nil {
 		f = &xferFlow{id: flow}
@@ -64,7 +77,7 @@ func (s *TransferScheduler) Submit(flow string, chunks []int64, done func()) {
 	if len(chunks) == 0 {
 		chunks = []int64{0}
 	}
-	f.reqs = append(f.reqs, &xferReq{chunks: chunks, done: done})
+	f.reqs = append(f.reqs, &xferReq{chunks: chunks, done: done, dropped: dropped})
 	if !s.pumping {
 		s.pumping = true
 		s.pump()
@@ -96,6 +109,21 @@ func (s *TransferScheduler) QueuedBytes() int64 {
 	return n
 }
 
+// Flows returns the number of flows the scheduler currently retains.
+// Flows are evicted once drained, so after quiesce this must be zero —
+// a retained empty flow is a leak (and skews round-robin fairness
+// against newly created flows).
+func (s *TransferScheduler) Flows() int { return len(s.flows) }
+
+// Reset drops all queued work and flow state. Used when a scheduler is
+// repurposed for a new cluster topology (reprotect): queued transfers
+// belong to the old primary and must not be replayed.
+func (s *TransferScheduler) Reset() {
+	s.flows = make(map[string]*xferFlow)
+	s.order = nil
+	s.cursor = 0
+}
+
 // pump puts the next chunk (round-robin across flows) on the link and
 // schedules itself for when that chunk finishes serializing. Pumping is
 // driven by the clock rather than by delivery callbacks so a link outage
@@ -112,15 +140,59 @@ func (s *TransferScheduler) pump() {
 	last := req.next == len(req.chunks)
 	if last {
 		f.reqs = f.reqs[1:]
+		if len(f.reqs) == 0 {
+			s.evict(f)
+		}
 	}
 	var done func()
 	if last && req.done != nil {
-		done = req.done
+		// A request that lost an earlier chunk must never complete, even
+		// if its last chunk happens to be delivered after the link heals.
+		d := req.done
+		done = func() {
+			if !req.failed {
+				d()
+			}
+		}
 	}
 	deliverAt := s.link.Transfer(size, done)
+	if req.done != nil || req.dropped != nil {
+		// Watch for the chunk being lost to a link cut. The link's own
+		// delivery event was scheduled first at the same timestamp, so it
+		// observes the same down/up state this check does.
+		s.clock.ScheduleAt(deliverAt, func() {
+			if s.link.Down() && !req.failed {
+				req.failed = true
+				if req.dropped != nil {
+					req.dropped()
+				}
+			}
+		})
+	}
 	// The link is free again once the chunk serializes; only propagation
 	// latency separates that from delivery.
 	s.clock.ScheduleAt(deliverAt.Add(-s.link.Latency()), s.pump)
+}
+
+// evict removes a drained flow, preserving round-robin fairness for the
+// remaining flows: the cursor is adjusted so the next pick continues
+// from the same logical position.
+func (s *TransferScheduler) evict(f *xferFlow) {
+	delete(s.flows, f.id)
+	for i, g := range s.order {
+		if g == f {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			if i < s.cursor {
+				s.cursor--
+			}
+			break
+		}
+	}
+	if n := len(s.order); n > 0 {
+		s.cursor %= n
+	} else {
+		s.cursor = 0
+	}
 }
 
 // nextFlow picks the next flow with pending work, continuing round-robin

@@ -61,6 +61,7 @@ type Engine struct {
 	cachedInfrequent *InfrequentState
 	epoch            uint64
 	first            bool
+	forceFull        bool
 }
 
 // NewEngine creates a checkpoint engine for the container. When the
@@ -83,6 +84,11 @@ func (e *Engine) Close() {
 
 // Tracker returns the state tracker (nil when caching is disabled).
 func (e *Engine) Tracker() *StateTracker { return e.tracker }
+
+// ForceFull makes the next checkpoint a full one with a complete
+// fs-cache dump (FSComplete) — the resynchronization baseline the
+// primary ships after the backup reports lost epochs.
+func (e *Engine) ForceFull() { e.forceFull = true }
 
 // Checkpoint freezes the container, collects a (full or incremental)
 // checkpoint image, and returns it together with the stop-time
@@ -113,12 +119,15 @@ func (e *Engine) Checkpoint() (*Image, CheckpointStats) {
 		stats.FreezeWait = signalCost + wait
 	}
 
+	resync := e.forceFull
+	e.forceFull = false
 	img := &Image{
 		ContainerID: ctr.ID,
 		IP:          ctr.IP,
 		Cores:       ctr.Cores,
 		Epoch:       e.epoch,
-		Full:        e.first || !e.Opts.Incremental,
+		Full:        e.first || resync || !e.Opts.Incremental,
+		FSComplete:  resync,
 	}
 
 	m := k.StartMeter()
@@ -198,6 +207,10 @@ func (e *Engine) Checkpoint() (*Image, CheckpointStats) {
 	// --- File-system cache (§III) -------------------------------------------
 	if e.Opts.FlushFsCache {
 		ctr.FS.FlushAll()
+	} else if resync {
+		// Resync baseline: the incremental DNC deltas of epochs lost to
+		// the outage are unrecoverable, so the whole cache travels.
+		img.FSCache = ctr.FS.FgetfcFull()
 	} else {
 		img.FSCache = ctr.FS.Fgetfc()
 	}

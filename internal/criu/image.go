@@ -62,6 +62,22 @@ type Image struct {
 	// NiLiCon state cache rather than re-collected (§V-B).
 	InfrequentCached bool
 
+	// FSComplete marks that FSCache is a complete dump of the fs cache
+	// rather than the incremental DNC delta. Only an image with a
+	// complete dump may serve as a fresh baseline at the backup: after
+	// epochs are lost to a link outage, the DNC deltas of the lost
+	// epochs are gone for good and an incremental image cannot stand in
+	// for them.
+	FSComplete bool
+
+	// DiskResync marks that this checkpoint ships with a full disk
+	// snapshot on the same flow (full resynchronization after a
+	// replication-link outage). The backup must not acknowledge the
+	// epoch until the snapshot has been applied: the DRBD writes of the
+	// lost epochs never arrived, so the barrier stream alone cannot
+	// certify the disk.
+	DiskResync bool
+
 	// AppState is the workload's user-space state snapshot.
 	AppState any
 }

@@ -35,6 +35,10 @@ type PageStore interface {
 	Len() int
 	// ForEach visits all pages in ascending key order.
 	ForEach(fn func(key uint64, data []byte))
+	// ForRange visits pages with lo <= key < hi in ascending key order.
+	// Restore uses it to extract one process's pages without scanning
+	// the whole store once per process.
+	ForRange(lo, hi uint64, fn func(key uint64, data []byte))
 	// Cost returns the cumulative modeled CPU cost of all operations.
 	Cost() simtime.Duration
 }
@@ -137,6 +141,24 @@ func (s *ListStore) ForEach(fn func(uint64, []byte)) {
 	}
 }
 
+// ForRange visits pages with lo <= key < hi in ascending key order. The
+// list layout has no index, so the directories are still scanned in
+// full, but only matching pages are collected and sorted.
+func (s *ListStore) ForRange(lo, hi uint64, fn func(uint64, []byte)) {
+	var hits []pageRec
+	for _, dir := range s.dirs {
+		for _, r := range dir {
+			if r.key >= lo && r.key < hi {
+				hits = append(hits, r)
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].key < hits[j].key })
+	for _, r := range hits {
+		fn(r.key, r.data)
+	}
+}
+
 // Cost returns the cumulative modeled CPU cost.
 func (s *ListStore) Cost() simtime.Duration { return s.cost }
 
@@ -222,6 +244,36 @@ func (s *RadixStore) ForEach(fn func(uint64, []byte)) {
 		for i := 0; i < 512; i++ {
 			if n.children[i] != nil {
 				walk(n.children[i], prefix<<9|uint64(i), level+1)
+			}
+		}
+	}
+	walk(s.root, 0, 0)
+}
+
+// ForRange visits pages with lo <= key < hi in ascending key order,
+// descending only into subtrees that overlap the range — the radix
+// structure makes extracting one process's pages O(pages in range), not
+// O(pages stored).
+func (s *RadixStore) ForRange(lo, hi uint64, fn func(uint64, []byte)) {
+	if hi <= lo {
+		return
+	}
+	var walk func(n *radixNode, prefix uint64, level int)
+	walk = func(n *radixNode, prefix uint64, level int) {
+		// span is the number of keys one entry at this level covers.
+		span := uint64(1) << uint(9*(3-level))
+		for i := 0; i < 512; i++ {
+			base := prefix<<9 | uint64(i)
+			start := base * span
+			if start >= hi || start+span <= lo {
+				continue
+			}
+			if level == 3 {
+				if n.leaves[i] != nil {
+					fn(base, n.leaves[i])
+				}
+			} else if n.children[i] != nil {
+				walk(n.children[i], base, level+1)
 			}
 		}
 	}

@@ -213,3 +213,71 @@ func BenchmarkPageStoreRadixVsList(b *testing.B) {
 		})
 	}
 }
+
+func TestPageStoreForRange(t *testing.T) {
+	keys := []uint64{0, 3, 5, 1 << 28, (1 << 28) + 7, (2 << 28) - 1, 2 << 28, 1<<36 - 1}
+	for name, mk := range storeImpls() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			s.BeginCheckpoint()
+			for _, k := range keys {
+				s.Put(k, []byte(fmt.Sprintf("p%d", k)))
+			}
+			lo, hi := uint64(1<<28), uint64(2<<28)
+			var got []uint64
+			s.ForRange(lo, hi, func(key uint64, data []byte) {
+				if want := fmt.Sprintf("p%d", key); string(data) != want {
+					t.Fatalf("data for %d = %q, want %q", key, data, want)
+				}
+				got = append(got, key)
+			})
+			want := []uint64{1 << 28, (1 << 28) + 7, (2 << 28) - 1}
+			if len(got) != len(want) {
+				t.Fatalf("ForRange keys = %v, want %v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("ForRange keys = %v (unsorted or wrong), want %v", got, want)
+				}
+			}
+			// Empty and inverted ranges visit nothing.
+			s.ForRange(6, 6, func(uint64, []byte) { t.Fatal("empty range visited") })
+			s.ForRange(10, 5, func(uint64, []byte) { t.Fatal("inverted range visited") })
+		})
+	}
+}
+
+func TestPageStoreForRangeMatchesFilteredForEach(t *testing.T) {
+	for name, mk := range storeImpls() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			rng := func(n uint64) uint64 { return (n*2654435761 + 12345) % (1 << 20) }
+			s.BeginCheckpoint()
+			for i := uint64(0); i < 500; i++ {
+				s.Put(rng(i), []byte{byte(i)})
+			}
+			lo, hi := uint64(1<<10), uint64(1<<19)
+			want := map[uint64]byte{}
+			s.ForEach(func(k uint64, d []byte) {
+				if k >= lo && k < hi {
+					want[k] = d[0]
+				}
+			})
+			var prev uint64
+			seen := 0
+			s.ForRange(lo, hi, func(k uint64, d []byte) {
+				if seen > 0 && k <= prev {
+					t.Fatalf("keys not ascending: %d after %d", k, prev)
+				}
+				prev = k
+				if v, ok := want[k]; !ok || v != d[0] {
+					t.Fatalf("unexpected key %d", k)
+				}
+				seen++
+			})
+			if seen != len(want) {
+				t.Fatalf("ForRange visited %d keys, ForEach filter found %d", seen, len(want))
+			}
+		})
+	}
+}

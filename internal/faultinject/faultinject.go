@@ -37,6 +37,36 @@ func HardKill(r *core.Replicator) Injection {
 	return inj
 }
 
+// CutRepl cuts the replication link (checkpoint state, DRBD writes and
+// heartbeats are lost) without touching the container or the ack link —
+// a transient network fault rather than a host failure.
+func CutRepl(r *core.Replicator) Injection {
+	r.Cluster.ReplLink.SetDown(true)
+	return Injection{At: r.Cluster.Clock.Now(), Kind: "cut-repl"}
+}
+
+// CutAck cuts the acknowledgment link: the backup still receives state
+// but its acks (and resync requests) are lost, so the primary's output
+// stays buffered.
+func CutAck(r *core.Replicator) Injection {
+	r.Cluster.AckLink.SetDown(true)
+	return Injection{At: r.Cluster.Clock.Now(), Kind: "cut-ack"}
+}
+
+// Partition cuts both inter-host links (transient full partition).
+func Partition(r *core.Replicator) Injection {
+	r.Cluster.ReplLink.SetDown(true)
+	r.Cluster.AckLink.SetDown(true)
+	return Injection{At: r.Cluster.Clock.Now(), Kind: "partition"}
+}
+
+// Heal restores both inter-host links.
+func Heal(r *core.Replicator) Injection {
+	r.Cluster.ReplLink.SetDown(false)
+	r.Cluster.AckLink.SetDown(false)
+	return Injection{At: r.Cluster.Clock.Now(), Kind: "heal"}
+}
+
 // Schedule arranges an injection at a uniformly random time within the
 // middle 80% of a run of the given length, as in the paper's validation
 // methodology. It returns the chosen time.

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nilicon/internal/chaos"
+	"nilicon/internal/core"
+	"nilicon/internal/metrics"
+	"nilicon/internal/simtime"
+)
+
+// ChaosOptSets is the configuration matrix the chaos sweep runs against:
+// the unoptimized baseline, the serialized stop-and-copy graph with
+// buffered input, the fully optimized set, and the overlapped transfer.
+func ChaosOptSets() []core.LadderStep {
+	stopcopy := core.AllOpts()
+	stopcopy.StagingBuffer = false
+	return []core.LadderStep{
+		{Name: "basic", Opts: core.BasicOpts()},
+		{Name: "stop-and-copy", Opts: stopcopy},
+		{Name: "all", Opts: core.AllOpts()},
+		{Name: "pipelined", Opts: core.PipelinedOpts()},
+	}
+}
+
+// RunChaosSweep runs `seeds` chaos campaigns (seeds base..base+seeds-1)
+// against every option set in the matrix. Every campaign is executed
+// twice so the determinism oracle (same seed ⇒ byte-identical trace) is
+// always checked alongside the runtime oracles. It returns every
+// campaign result plus a per-option-set summary table.
+func RunChaosSweep(seeds int, base int64, duration simtime.Duration) ([]chaos.Result, *metrics.Table) {
+	if seeds <= 0 {
+		seeds = 20
+	}
+	var results []chaos.Result
+	tb := metrics.NewTable("Chaos sweep: seeded fault campaigns × option sets",
+		"OptSet", "Campaigns", "Passed", "Terminals", "Epochs", "Resyncs", "Drops", "Failovers")
+	for _, step := range ChaosOptSets() {
+		var passed int
+		var epochs uint64
+		var resyncs, drops int64
+		var failovers int
+		terminals := map[string]int{}
+		for s := int64(0); s < int64(seeds); s++ {
+			seed := base + s
+			res := chaos.VerifySeed(chaos.Config{
+				Seed: seed, Opts: step.Opts, OptName: step.Name, Duration: duration,
+			})
+			results = append(results, res)
+			terminals[res.Terminal]++
+			epochs += res.Epochs
+			resyncs += res.Resyncs
+			drops += res.LinkDrops
+			failovers += res.Failovers
+			if res.Passed {
+				passed++
+			} else {
+				for _, v := range res.Verdicts {
+					if !v.OK {
+						progressf("chaos %s seed=%d FAIL %s: %s", step.Name, seed, v.Oracle, v.Detail)
+					}
+				}
+			}
+			progressf("chaos %s seed=%d terminal=%s passed=%v", step.Name, seed, res.Terminal, res.Passed)
+		}
+		var tnames []string
+		for name, n := range terminals {
+			tnames = append(tnames, fmt.Sprintf("%s:%d", name, n))
+		}
+		// Deterministic column ordering for the summary.
+		sort.Strings(tnames)
+		tb.AddRow(step.Name,
+			fmt.Sprintf("%d", seeds),
+			fmt.Sprintf("%d", passed),
+			strings.Join(tnames, " "),
+			fmt.Sprintf("%d", epochs),
+			fmt.Sprintf("%d", resyncs),
+			fmt.Sprintf("%d", drops),
+			fmt.Sprintf("%d", failovers))
+	}
+	return results, tb
+}

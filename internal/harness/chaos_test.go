@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"nilicon/internal/simtime"
+)
+
+// TestChaosSweepSmall runs a reduced sweep through the harness wrapper:
+// every campaign must pass every oracle and the summary table must carry
+// one row per option set.
+func TestChaosSweepSmall(t *testing.T) {
+	results, tb := RunChaosSweep(2, 21, 800*simtime.Millisecond)
+	if len(results) != 2*len(ChaosOptSets()) {
+		t.Fatalf("results = %d, want %d", len(results), 2*len(ChaosOptSets()))
+	}
+	for _, res := range results {
+		if !res.Passed {
+			for _, v := range res.Verdicts {
+				if !v.OK {
+					t.Errorf("%s seed=%d oracle %s: %s", res.OptName, res.Seed, v.Oracle, v.Detail)
+				}
+			}
+			t.Fatalf("campaign %s seed=%d failed", res.OptName, res.Seed)
+		}
+	}
+	if tb.NumRows() != len(ChaosOptSets()) {
+		t.Fatalf("table rows = %d, want %d", tb.NumRows(), len(ChaosOptSets()))
+	}
+	for _, step := range ChaosOptSets() {
+		if !strings.Contains(tb.String(), step.Name) {
+			t.Fatalf("summary table missing option set %q:\n%s", step.Name, tb)
+		}
+	}
+}

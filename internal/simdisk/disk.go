@@ -99,3 +99,15 @@ func (d *Disk) Clone(name string) *Disk {
 	}
 	return nd
 }
+
+// CopyFrom replaces this disk's content with a deep copy of src's (full
+// resynchronization: the backup disk is overwritten with the shipped
+// snapshot). Operation counters are preserved.
+func (d *Disk) CopyFrom(src *Disk) {
+	d.blocks = make(map[uint64][]byte, len(src.blocks))
+	for bn, b := range src.blocks {
+		nb := make([]byte, BlockSize)
+		copy(nb, b)
+		d.blocks[bn] = nb
+	}
+}

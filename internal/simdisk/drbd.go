@@ -36,26 +36,41 @@ type DRBD struct {
 	peer *DRBD
 
 	epoch uint64 // primary: epoch tag for new writes
+	// epochWrites counts the primary's shipped writes per epoch; the
+	// count travels with the epoch's barrier so the secondary can tell a
+	// complete epoch from one whose writes were dropped by a link outage.
+	epochWrites map[uint64]int64
 
 	// Secondary state.
 	buffer []WriteOp
-	// lastBarrier is the highest epoch whose barrier has arrived: all of
-	// that epoch's writes are in the buffer.
-	lastBarrier uint64
-	hasBarrier  bool
+	// recvWrites counts received writes per epoch (compared against the
+	// barrier's count).
+	recvWrites map[uint64]int64
+	// verified marks epochs whose own barrier arrived with a matching
+	// write count: all of that epoch's writes are in the buffer. A
+	// barrier whose count mismatches (writes lost on the link) does NOT
+	// verify the epoch — it must never be committed from the buffer.
+	verified map[uint64]bool
 	// committed is the highest epoch applied to the local disk.
 	committed uint64
+	// resyncEpoch is the newest epoch covered by a full-snapshot resync
+	// (ApplyResync); valid when resynced is true.
+	resyncEpoch uint64
+	resynced    bool
 
 	// OnBarrier, if set on the secondary, fires when an epoch's barrier
 	// arrives (the backup agent needs "all disk writes received" before
-	// acknowledging a checkpoint, §IV).
+	// acknowledging a checkpoint, §IV) and when a resync snapshot is
+	// applied.
 	OnBarrier func(epoch uint64)
 }
 
 // NewDRBDPair wires a primary/secondary pair over the replication link.
 func NewDRBDPair(primaryDisk, backupDisk *Disk, link *simnet.Link) (*DRBD, *DRBD) {
-	p := &DRBD{Role: RolePrimary, Local: primaryDisk, link: link}
-	s := &DRBD{Role: RoleSecondary, Local: backupDisk, link: link}
+	p := &DRBD{Role: RolePrimary, Local: primaryDisk, link: link,
+		epochWrites: make(map[uint64]int64)}
+	s := &DRBD{Role: RoleSecondary, Local: backupDisk, link: link,
+		recvWrites: make(map[uint64]int64), verified: make(map[uint64]bool)}
 	p.peer = s
 	s.peer = p
 	return p, s
@@ -79,6 +94,7 @@ func (d *DRBD) WriteBlock(bn uint64, data []byte) error {
 	op := WriteOp{Block: bn, Data: cp, Epoch: d.epoch}
 	peer := d.peer
 	if peer != nil && d.link != nil {
+		d.epochWrites[d.epoch]++
 		d.link.Transfer(int64(len(data)+24), func() { peer.receiveWrite(op) })
 	}
 	return nil
@@ -88,31 +104,42 @@ func (d *DRBD) WriteBlock(bn uint64, data []byte) error {
 // §II-A).
 func (d *DRBD) ReadBlock(bn uint64) []byte { return d.Local.ReadBlock(bn) }
 
-// Barrier marks the end of epoch e's writes and ships the marker.
+// Barrier marks the end of epoch e's writes and ships the marker,
+// carrying the epoch's write count so the secondary can verify that no
+// write was lost on the link.
 func (d *DRBD) Barrier(e uint64) {
 	if d.Role != RolePrimary {
 		panic("simdisk: barrier on secondary")
 	}
 	peer := d.peer
 	if peer != nil && d.link != nil {
-		d.link.Transfer(24, func() { peer.receiveBarrier(e) })
+		count := d.epochWrites[e]
+		delete(d.epochWrites, e)
+		d.link.Transfer(24, func() { peer.receiveBarrier(e, count) })
 	}
 }
 
-func (d *DRBD) receiveWrite(op WriteOp) { d.buffer = append(d.buffer, op) }
+func (d *DRBD) receiveWrite(op WriteOp) {
+	d.buffer = append(d.buffer, op)
+	d.recvWrites[op.Epoch]++
+}
 
-func (d *DRBD) receiveBarrier(e uint64) {
-	d.lastBarrier = e
-	d.hasBarrier = true
+func (d *DRBD) receiveBarrier(e uint64, count int64) {
+	if d.recvWrites[e] == count {
+		d.verified[e] = true
+	}
 	if d.OnBarrier != nil {
 		d.OnBarrier(e)
 	}
 }
 
-// BarrierReceived reports whether epoch e's barrier (and hence all of
-// its writes — the link is FIFO) has arrived.
+// BarrierReceived reports whether epoch e's own barrier arrived with a
+// matching write count — every one of the epoch's writes is in the
+// buffer. A later epoch's barrier does not vouch for e: during a link
+// outage e's writes and barrier can be dropped while a post-heal barrier
+// still gets through.
 func (d *DRBD) BarrierReceived(e uint64) bool {
-	return d.hasBarrier && d.lastBarrier >= e
+	return d.verified[e] || (d.resynced && e <= d.resyncEpoch)
 }
 
 // Buffered returns the number of buffered write operations.
@@ -140,8 +167,63 @@ func (d *DRBD) Commit(e uint64) error {
 		}
 	}
 	d.buffer = append([]WriteOp(nil), rest...)
+	for k := range d.verified {
+		if k <= e {
+			delete(d.verified, k)
+		}
+	}
+	for k := range d.recvWrites {
+		if k <= e {
+			delete(d.recvWrites, k)
+		}
+	}
 	return nil
 }
+
+// ApplyResync installs a full disk snapshot covering everything through
+// epoch e: the secondary disk's content is replaced with the snapshot,
+// buffered writes and per-epoch bookkeeping at or below e are dropped
+// (the snapshot supersedes them), and e is marked verified. Used to
+// recover after a replication-link outage loses an unknown set of
+// writes and barriers.
+func (d *DRBD) ApplyResync(src *Disk, e uint64) error {
+	if d.Role != RoleSecondary {
+		return fmt.Errorf("simdisk: resync on %v end", d.Role)
+	}
+	d.Local.CopyFrom(src)
+	rest := d.buffer[:0]
+	for _, op := range d.buffer {
+		if op.Epoch > e {
+			rest = append(rest, op)
+		}
+	}
+	d.buffer = append([]WriteOp(nil), rest...)
+	for k := range d.verified {
+		if k <= e {
+			delete(d.verified, k)
+		}
+	}
+	for k := range d.recvWrites {
+		if k <= e {
+			delete(d.recvWrites, k)
+		}
+	}
+	if e > d.committed {
+		d.committed = e
+	}
+	if !d.resynced || e > d.resyncEpoch {
+		d.resyncEpoch = e
+		d.resynced = true
+	}
+	if d.OnBarrier != nil {
+		d.OnBarrier(e)
+	}
+	return nil
+}
+
+// ResyncedThrough returns the newest epoch covered by an applied resync
+// snapshot, if any.
+func (d *DRBD) ResyncedThrough() (uint64, bool) { return d.resyncEpoch, d.resynced }
 
 // DiscardAbove drops buffered writes with epoch > e; on failover the
 // backup discards the writes of any epoch whose container state was not

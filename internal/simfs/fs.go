@@ -366,6 +366,43 @@ func (fs *FS) Fgetfc() CacheSnapshot {
 	return cs
 }
 
+// FgetfcFull returns every cached page and every inode — not just the
+// DNC entries — and clears the DNC state, so the snapshot is a complete
+// baseline and the next Fgetfc is incremental relative to it. The
+// replication resync path uses this: after epochs are lost on the link,
+// their DNC deltas are gone and only a full dump restores a consistent
+// fs-cache view at the backup.
+func (fs *FS) FgetfcFull() CacheSnapshot {
+	var cs CacheSnapshot
+	keys := make([]pageKey, 0, len(fs.cache))
+	for k := range fs.cache {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ino != keys[j].ino {
+			return keys[i].ino < keys[j].ino
+		}
+		return keys[i].idx < keys[j].idx
+	})
+	for _, k := range keys {
+		pg := fs.cache[k]
+		data := make([]byte, PageSize)
+		copy(data, pg.data)
+		cs.Pages = append(cs.Pages, PageEntry{Ino: k.ino, Idx: k.idx, Data: data, Dirty: pg.dirty})
+		pg.dnc = false
+		fs.charge(fs.costs().FgetfcPerEntry)
+	}
+	for _, ino := range fs.Inodes() {
+		cs.Inodes = append(cs.Inodes, InodeEntry{
+			Ino: ino.Ino, Path: ino.Path, Size: ino.Size, Mode: ino.Mode,
+			UID: ino.UID, GID: ino.GID, Sync: ino.Sync, MTime: ino.MTime,
+		})
+		ino.attrDNC = false
+		fs.charge(fs.costs().FgetfcPerEntry)
+	}
+	return cs
+}
+
 // FlushAll models stock CRIU's behaviour: flush the entire dirty cache
 // to stable storage at checkpoint time, charging per flushed page. The
 // paper rejects this because it can cost hundreds of milliseconds per

@@ -174,6 +174,7 @@ type Link struct {
 	busyUntil simtime.Time
 	sent      int64
 	down      bool
+	drops     int64
 }
 
 // NewLink creates a link. bytesPerSecond of zero means infinite bandwidth.
@@ -202,6 +203,7 @@ func (l *Link) Transfer(size int64, done func()) simtime.Time {
 	if done != nil {
 		l.clock.ScheduleAt(deliver, func() {
 			if l.down {
+				l.drops++
 				return
 			}
 			done()
@@ -223,6 +225,7 @@ func (l *Link) TransferExpress(size int64, done func()) simtime.Time {
 	if done != nil {
 		l.clock.ScheduleAt(deliver, func() {
 			if l.down {
+				l.drops++
 				return
 			}
 			done()
@@ -230,6 +233,9 @@ func (l *Link) TransferExpress(size int64, done func()) simtime.Time {
 	}
 	return deliver
 }
+
+// Drops returns the number of deliveries lost to link-down cuts.
+func (l *Link) Drops() int64 { return l.drops }
 
 // Latency returns the link's propagation latency, the gap between the
 // end of serialization and delivery. Schedulers that stream a transfer

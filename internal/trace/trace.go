@@ -31,6 +31,12 @@ type EpochRecord struct {
 	Transfer simtime.Duration
 	AckWait  simtime.Duration
 	Commit   simtime.Duration
+
+	// Inflight is the number of epochs still awaiting output release
+	// when this epoch's output was released. A growing value shows a
+	// stalled pipeline (link outage, slow backup) directly in the
+	// timeline.
+	Inflight int
 }
 
 // Timeline accumulates epoch records.
@@ -50,11 +56,11 @@ func (tl *Timeline) Records() []EpochRecord { return tl.records }
 // WriteCSV emits the series with a header row. Durations are in
 // microseconds, the timestamp in milliseconds.
 func (tl *Timeline) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages,transfer_us,ack_us,commit_us"); err != nil {
+	if _, err := fmt.Fprintln(w, "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages,transfer_us,ack_us,commit_us,inflight"); err != nil {
 		return err
 	}
 	for _, r := range tl.records {
-		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			r.Epoch,
 			float64(r.At)/1e6,
 			r.Stop.Microseconds(),
@@ -65,7 +71,8 @@ func (tl *Timeline) WriteCSV(w io.Writer) error {
 			r.DirtyPages,
 			r.Transfer.Microseconds(),
 			r.AckWait.Microseconds(),
-			r.Commit.Microseconds())
+			r.Commit.Microseconds(),
+			r.Inflight)
 		if err != nil {
 			return err
 		}

@@ -15,7 +15,7 @@ func TestTimelineCSV(t *testing.T) {
 		MemCopy: 300 * simtime.Microsecond, SockColl: 200 * simtime.Microsecond,
 		StateBytes: 1 << 20, DirtyPages: 250,
 		Transfer: 900 * simtime.Microsecond, AckWait: 60 * simtime.Microsecond,
-		Commit: 6 * simtime.Millisecond,
+		Commit: 6 * simtime.Millisecond, Inflight: 2,
 	})
 	tl.Record(EpochRecord{Epoch: 2, At: simtime.Time(128 * simtime.Millisecond)})
 	var b strings.Builder
@@ -30,7 +30,7 @@ func TestTimelineCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "epoch,at_ms,stop_us") {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[1] != "1,64.000,5000,100,300,200,1048576,250,900,60,6000" {
+	if lines[1] != "1,64.000,5000,100,300,200,1048576,250,900,60,6000,2" {
 		t.Fatalf("row = %q", lines[1])
 	}
 	if tl.Len() != 2 {
