@@ -173,3 +173,31 @@ func BenchmarkPipelinedVsStopAndCopy(b *testing.B) {
 		run(b, core.PipelinedOpts())
 	})
 }
+
+// BenchmarkDeltaVsFullTransfer compares the replication stream with and
+// without the delta-compressed wire format (DESIGN.md §8) on the
+// memory-heavy streamcluster workload: steady-state bytes on the wire
+// per epoch and the p99 output-commit latency. The delta rows must show
+// a large wire-byte drop with no commit-tail regression.
+func BenchmarkDeltaVsFullTransfer(b *testing.B) {
+	run := func(b *testing.B, opts core.OptSet) {
+		for i := 0; i < b.N; i++ {
+			rc := quickRC()
+			rc.Opts = &opts
+			res := harness.RunBatch(workloads.Streamcluster, harness.NiLiCon, rc)
+			b.ReportMetric(res.WireMean, "wire-B/epoch")
+			b.ReportMetric(res.CommitP99*1000, "commit-p99-ms")
+		}
+	}
+	b.Run("Full", func(b *testing.B) {
+		run(b, core.AllOpts())
+	})
+	b.Run("Delta", func(b *testing.B) {
+		opts := core.AllOpts()
+		opts.DeltaPages = true
+		run(b, opts)
+	})
+	b.Run("DeltaDedup", func(b *testing.B) {
+		run(b, core.DeltaOpts())
+	})
+}

@@ -14,6 +14,8 @@
 //	table6         Single-client response latency
 //	validate       §VII-A fault-injection validation
 //	pipeline       Epoch-pipeline transfer-mode ablation (streamcluster)
+//	bench          BENCH_3.json: the optimization ladder plus the §8
+//	               delta-compression rows, as JSON on stdout
 //	chaos          Seeded deterministic fault campaign with invariant
 //	               oracles (-sweep for the full seed × option-set matrix)
 //	scale-threads  Streamcluster 1..32 threads
@@ -23,6 +25,12 @@
 //
 // The -pipeline flag enables the overlapped (pipelined) state transfer
 // on experiments that run a replicator (timeline, validate, fig3, ...).
+// The -delta flag enables the delta-compressed replication stream
+// (DeltaPages + BackupPageDedup, DESIGN.md §8) the same way. The -j flag
+// runs sweep-style experiments (chaos -sweep, table1, pipeline, bench)
+// on a worker pool; every seeded run stays single-threaded and results
+// are collected in a fixed order, so output is byte-identical for any
+// -j value.
 //
 // All experiments run in virtual time and are fully deterministic for a
 // given -seed.
@@ -50,12 +58,14 @@ func main() {
 	bench := fs.String("bench", "redis", "benchmark for the timeline command")
 	runLen := fs.Duration("runlen", 20*time.Second, "validation run length (paper: 60s, 50 runs)")
 	pipelined := fs.Bool("pipeline", false, "enable the overlapped (pipelined) state transfer")
+	delta := fs.Bool("delta", false, "enable the delta-compressed replication stream (XOR page deltas, zero elision, backup page dedup)")
+	jobs := fs.Int("j", 1, "worker-pool width for sweep experiments (output is identical for any value)")
 	seeds := fs.Int("seeds", 20, "chaos: campaigns per option set in sweep mode")
-	optsName := fs.String("opts", "all", "chaos: option set (basic|stop-and-copy|all|pipelined)")
+	optsName := fs.String("opts", "all", "chaos: option set (basic|stop-and-copy|all|pipelined|delta)")
 	sweep := fs.Bool("sweep", false, "chaos: run the full seed × option-set sweep instead of one campaign")
 	chaosDur := fs.Duration("chaos-duration", 1500*time.Millisecond, "chaos: fault-injection window (virtual)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|chaos|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
+		fmt.Fprintf(os.Stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|bench|chaos|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
 		fs.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -65,7 +75,8 @@ func main() {
 	cmd := os.Args[1]
 	_ = fs.Parse(os.Args[2:])
 
-	rc := harness.RunConfig{Seed: *seed, Warmup: *warmup, Measure: *measure, Pipelined: *pipelined}
+	rc := harness.RunConfig{Seed: *seed, Warmup: *warmup, Measure: *measure, Pipelined: *pipelined, Delta: *delta}
+	harness.Jobs = *jobs
 	harness.Verbose = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
@@ -94,6 +105,13 @@ func main() {
 		case "pipeline":
 			_, tb := harness.RunPipelineAblation(rc)
 			fmt.Println(tb)
+		case "bench":
+			out, err := harness.RunBench3(rc).JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(out)
 		case "chaos":
 			if *sweep {
 				results, tb := harness.RunChaosSweep(*seeds, *seed, simtime.Duration(*chaosDur))

@@ -29,6 +29,10 @@ func main() {
 	fmt.Println("Epoch-pipeline ablation (beyond the paper's ladder)")
 	prows, ptb := harness.RunPipelineAblation(harness.RunConfig{Measure: 2 * simtime.Second})
 	fmt.Println(ptb)
+	staging, piped := prows[1], prows[len(prows)-1]
 	fmt.Printf("pipelined transfer: %.0f%% → %.0f%% overhead vs the staging buffer\n",
-		prows[1].Overhead*100, prows[2].Overhead*100)
+		staging.Overhead*100, piped.Overhead*100)
+	delta := prows[len(prows)-2] // + Backup page dedup: full §8 compression
+	fmt.Printf("delta compression: %.0f KiB → %.0f KiB on the wire per epoch\n",
+		staging.WireMean/1024, delta.WireMean/1024)
 }

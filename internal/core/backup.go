@@ -212,9 +212,20 @@ func (b *BackupAgent) tryAck(epoch uint64) {
 		b.resetToBaseline(epoch)
 	}
 	delete(b.pending, epoch)
+	// Commit before acknowledging: an image whose frames cannot be
+	// decoded against the committed state (e.g. a delta that raced a
+	// resynchronization) is rejected — dropped without an ack — and the
+	// backup NACKs for a fresh full baseline instead of committing a
+	// corrupted page.
+	if err := b.commit(epoch, img); err != nil {
+		if !b.resyncRequested {
+			b.resyncRequested = true
+			b.sendResync()
+		}
+		return
+	}
 	r := b.r
 	b.cl.AckLink.Transfer(16, func() { r.ackReceived(epoch) })
-	b.commit(epoch, img)
 	if baseline {
 		b.resyncRequested = false
 	}
@@ -249,21 +260,66 @@ func (b *BackupAgent) resetToBaseline(epoch uint64) {
 	}
 }
 
-// commit merges the acknowledged checkpoint into the buffered committed
-// state and applies the epoch's disk writes.
-func (b *BackupAgent) commit(epoch uint64, img *criu.Image) {
+// commit merges the checkpoint into the buffered committed state and
+// applies the epoch's disk writes. An image whose encoded frames do not
+// decode cleanly against the committed page store is rejected with an
+// error before anything is installed: frames are decoded in image order
+// against the pre-image state first (a dedup reference always precedes
+// its donor's own update, so this matches sequential application), and
+// only a fully-valid image is merged — a half-applied epoch could
+// otherwise leak into a failover.
+func (b *BackupAgent) commit(epoch uint64, img *criu.Image) error {
+	c := b.cl.Backup.Kernel.Costs
+	var pageBytes, sockBytes int64
+	var decodeCost simtime.Duration
+	type decodedPage struct {
+		key  uint64
+		data []byte
+	}
+	var decoded []decodedPage
+	for pi := range img.Procs {
+		p := &img.Procs[pi]
+		for fi := range p.Frames {
+			f := &p.Frames[fi]
+			if f.PN >= maxPageNumber {
+				panic(fmt.Sprintf("core: page number %#x exceeds store key space", f.PN))
+			}
+			key := criu.PageKey(pi, f.PN)
+			data, err := criu.DecodeFrame(f, key, b.store)
+			if err != nil {
+				return err
+			}
+			decoded = append(decoded, decodedPage{key, data})
+			switch f.Kind {
+			case criu.FrameFull:
+				pageBytes += int64(len(data))
+			case criu.FrameDelta:
+				pageBytes += int64(len(f.Delta))
+				// Verify the base hash, apply the patch, verify the result.
+				decodeCost += 2*c.PageHash + c.PageDeltaApply
+			case criu.FrameZero:
+				// Installing the zero page is one page-sized write.
+				decodeCost += backupCopyCost(int64(len(data)))
+			case criu.FrameDedup:
+				// Verify the donor hash; the content itself is shared.
+				decodeCost += c.PageHash
+			}
+		}
+	}
 	b.store.BeginCheckpoint()
 	storeBefore := b.store.Cost()
-	var pageBytes, sockBytes int64
+	for _, d := range decoded {
+		// Decoded buffers (and the image's own page buffers below) are
+		// dead after this merge; hand them to the store without copying.
+		b.store.PutOwned(d.key, d.data)
+	}
 	for pi := range img.Procs {
 		p := &img.Procs[pi]
 		for _, pg := range p.Pages {
 			if pg.PN >= maxPageNumber {
 				panic(fmt.Sprintf("core: page number %#x exceeds store key space", pg.PN))
 			}
-			// The image's page buffers are dead after this merge; hand
-			// them to the store without copying.
-			b.store.PutOwned(uint64(pi)<<28|pg.PN, pg.Data)
+			b.store.PutOwned(criu.PageKey(pi, pg.PN), pg.Data)
 			pageBytes += int64(len(pg.Data))
 		}
 	}
@@ -290,6 +346,7 @@ func (b *BackupAgent) commit(epoch uint64, img *criu.Image) {
 	// Page contents now live in the store; keep only the metadata.
 	for pi := range img.Procs {
 		img.Procs[pi].Pages = nil
+		img.Procs[pi].Frames = nil
 	}
 	b.lastImage = img
 	b.committed = epoch
@@ -303,9 +360,11 @@ func (b *BackupAgent) commit(epoch uint64, img *criu.Image) {
 	cost := backupCopyCost(pageBytes + sockBytes)
 	cost += backupReadSyscall * simtime.Duration(1+pageBytes/pageChunkBytes)
 	cost += backupReadSyscall * simtime.Duration(1+sockBytes/sockChunkBytes)
+	cost += decodeCost
 	cost += b.store.Cost() - storeBefore
 	cost += 40 * simtime.Microsecond // ack + bookkeeping
 	b.CPUBusy += cost
+	return nil
 }
 
 // CommittedEpoch returns the newest committed epoch (ok=false before the

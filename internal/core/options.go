@@ -51,6 +51,23 @@ type OptSet struct {
 	// This goes beyond the paper's Table I ladder and is therefore not
 	// part of AllOpts.
 	PipelinedTransfer bool
+	// DeltaPages delta-compresses the replication stream (DESIGN.md §8):
+	// each dirty page ships as a sparse XOR patch against the
+	// previous-epoch copy the backup provably committed, and all-zero
+	// pages are elided entirely. Pages without a committed base — every
+	// page after a NACK-triggered full resynchronization, until the
+	// baseline is re-acked — fall back to full frames, so a delta can
+	// never apply against a stale base. Beyond the Table I ladder; not
+	// part of AllOpts.
+	DeltaPages bool
+	// BackupPageDedup tags every encoded frame with an FNV-1a content
+	// hash and ships an identical page (across VMAs and processes) as a
+	// reference to the committed donor's store key; the backup's radix
+	// page store then holds one copy under both keys. The donor is
+	// byte-verified on the primary and hash-verified at the backup, so a
+	// hash collision cannot corrupt state. Beyond the Table I ladder;
+	// not part of AllOpts.
+	BackupPageDedup bool
 }
 
 // AllOpts returns the fully optimized NiLiCon configuration.
@@ -75,6 +92,17 @@ func BasicOpts() OptSet { return OptSet{} }
 func PipelinedOpts() OptSet {
 	o := AllOpts()
 	o.PipelinedTransfer = true
+	return o
+}
+
+// DeltaOpts returns the fully optimized configuration plus the
+// delta-compressed replication stream (XOR page deltas, zero-page
+// elision) and the content-addressed backup page dedup — the rows
+// beyond the paper's Table I ladder that shrink bytes on the wire.
+func DeltaOpts() OptSet {
+	o := AllOpts()
+	o.DeltaPages = true
+	o.BackupPageDedup = true
 	return o
 }
 

@@ -46,6 +46,11 @@ type epochRun struct {
 	// PipelinedTransfer defers the dirty-page copy out of the pause.
 	cowTax simtime.Duration
 
+	// wireBytes is the image's actual transfer size (encoded frames when
+	// the delta encoder ran); frames is the encoding's frame mix.
+	wireBytes int64
+	frames    criu.EncodeStats
+
 	// lossy marks a run whose own transfer was dropped on the link; it is
 	// retired by a later cumulative ack and excluded from measurement.
 	lossy bool
@@ -247,8 +252,11 @@ func (run *epochRun) thaw() {
 func (run *epochRun) transfer() {
 	r := run.r
 	cl := r.Cluster
-	submit := func() {
-		start := cl.Clock.Now()
+	// The frame encoding happens at submission time, against whatever the
+	// cumulative-ack protocol has proven committed by then; its CPU cost
+	// delays the submission in virtual time, so the compression win is
+	// charged honestly against the bytes it saves.
+	doSubmit := func(start simtime.Time) {
 		b := r.Backup
 		epoch, img := run.epoch, run.img
 		cl.Xfer.SubmitReq(r.Ctr.ID, img.StreamChunks(xferChunkBytes), func() {
@@ -272,6 +280,21 @@ func (run *epochRun) transfer() {
 			now := cl.Clock.Now()
 			run.complete(StageTransfer, now, now.Sub(start))
 		})
+	}
+	submit := func() {
+		start := cl.Clock.Now()
+		at := start.Add(r.encodeForWire(run))
+		// One replication thread encodes and submits serially: never
+		// submit ahead of a predecessor still being encoded (the backup
+		// commits strictly in epoch order; reordering would NACK).
+		if at < r.submitFloor {
+			at = r.submitFloor
+		}
+		r.submitFloor = at
+		// Always submit through the event queue: same-timestamp events run
+		// in insertion order, so a zero-cost encode cannot overtake a
+		// predecessor whose submission is pending at this very instant.
+		cl.Clock.ScheduleAt(at, func() { doSubmit(start) })
 	}
 	if r.Cfg.Opts.StagingBuffer || r.Cfg.Opts.PipelinedTransfer {
 		cl.Clock.ScheduleAt(run.pauseEnd, submit)
@@ -336,20 +359,26 @@ func (run *epochRun) record() {
 	for s := Stage(0); s < NumStages; s++ {
 		r.StageTimes[s].Add(run.dur[s].Seconds())
 	}
+	r.BytesOnWire.Add(float64(run.wireBytes))
 	if r.Timeline != nil {
 		r.Timeline.Record(trace.EpochRecord{
-			Epoch:      run.epoch,
-			At:         run.startAt,
-			Stop:       run.thawAt.Sub(run.startAt),
-			FreezeWait: run.stats.FreezeWait,
-			MemCopy:    run.stats.MemCopy,
-			SockColl:   run.stats.SocketCollect,
-			StateBytes: run.stats.StateBytes,
-			DirtyPages: run.stats.DirtyPages,
-			Transfer:   run.dur[StageTransfer],
-			AckWait:    run.dur[StageAwaitAck],
-			Commit:     run.dur[StageReleaseOutput],
-			Inflight:   len(r.inflight),
+			Epoch:       run.epoch,
+			At:          run.startAt,
+			Stop:        run.thawAt.Sub(run.startAt),
+			FreezeWait:  run.stats.FreezeWait,
+			MemCopy:     run.stats.MemCopy,
+			SockColl:    run.stats.SocketCollect,
+			StateBytes:  run.stats.StateBytes,
+			DirtyPages:  run.stats.DirtyPages,
+			Transfer:    run.dur[StageTransfer],
+			AckWait:     run.dur[StageAwaitAck],
+			Commit:      run.dur[StageReleaseOutput],
+			Inflight:    len(r.inflight),
+			WireBytes:   run.wireBytes,
+			FullFrames:  run.frames.FullFrames,
+			DeltaFrames: run.frames.DeltaFrames,
+			ZeroFrames:  run.frames.ZeroFrames,
+			DedupFrames: run.frames.DedupFrames,
 		})
 	}
 }

@@ -45,13 +45,35 @@ type Replicator struct {
 	released    uint64
 	hasReleased bool
 
+	// ackedThrough is the cumulative-ack watermark: the newest epoch the
+	// backup has acknowledged (and therefore committed, together with
+	// everything below it). The delta encoder only uses pages last
+	// shipped at or below this watermark as delta bases or dedup donors.
+	ackedThrough uint64
+	hasAcked     bool
+
+	// encoder rewrites images into delta wire frames (nil unless
+	// DeltaPages or BackupPageDedup is enabled).
+	encoder *criu.DeltaEncoder
+	// submitFloor serializes transfer submissions: the replication thread
+	// encodes and submits epochs one at a time, so an epoch whose encode
+	// outlasts the epoch interval cannot be overtaken on the wire by its
+	// successor (the backup would see a gap and NACK a healthy stream).
+	submitFloor simtime.Time
+
 	// Resyncs counts full resynchronizations triggered by lost epochs.
 	Resyncs metrics.Counter
+
+	// Wire-format frame counters (DESIGN.md §8): how every transferred
+	// page was encoded. With the encoder disabled all pages count as
+	// full frames.
+	FullFrames, DeltaFrames, ZeroFrames, DedupFrames metrics.Counter
 
 	// Virtual-time measurements, aggregated by the harness into Tables
 	// I, III and IV.
 	StopTimes    metrics.Stream // seconds
-	StateBytes   metrics.Stream // bytes
+	StateBytes   metrics.Stream // bytes (logical state size)
+	BytesOnWire  metrics.Stream // bytes actually sent per epoch
 	DirtyPages   metrics.Stream // pages
 	FreezeWaits  metrics.Stream // seconds
 	SockCollects metrics.Stream // seconds
@@ -94,6 +116,9 @@ func NewReplicator(cl *Cluster, ctr *container.Container, cfg Config) *Replicato
 	}
 	r := &Replicator{Cfg: cfg, Cluster: cl, Ctr: ctr, inflight: make(map[uint64]*epochRun)}
 	r.engine = criu.NewEngine(ctr, cfg.Opts.criuOptions())
+	if cfg.Opts.DeltaPages || cfg.Opts.BackupPageDedup {
+		r.encoder = criu.NewDeltaEncoder(cfg.Opts.DeltaPages, cfg.Opts.BackupPageDedup)
+	}
 	r.Backup = newBackupAgent(cl, cfg, r)
 	return r
 }
@@ -193,6 +218,10 @@ func (r *Replicator) ackReceived(e uint64) {
 	if r.stopped {
 		return
 	}
+	if !r.hasAcked || e > r.ackedThrough {
+		r.ackedThrough = e
+		r.hasAcked = true
+	}
 	if r.resyncPendingB && e >= r.resyncPending {
 		r.resyncPendingB = false
 	}
@@ -241,6 +270,84 @@ func (r *Replicator) nackReceived() {
 		return
 	}
 	r.resyncArmed = true
+}
+
+// encodeForWire rewrites the epoch's image into wire frames against the
+// cumulative-ack watermark, records the run's wire size and frame mix,
+// and returns the virtual-time CPU cost of the encoding (hashing every
+// dirty page plus the diff/verify scans). With no encoder configured the
+// image ships verbatim at zero extra cost.
+func (r *Replicator) encodeForWire(run *epochRun) simtime.Duration {
+	if r.encoder == nil {
+		run.wireBytes = run.img.WireSizeBytes()
+		run.frames.FullFrames = run.img.DirtyPages()
+		r.FullFrames.Add(int64(run.frames.FullFrames))
+		return 0
+	}
+	st := r.encoder.EncodeImage(run.img, r.ackedThrough, r.hasAcked)
+	run.wireBytes = run.img.WireSizeBytes()
+	run.frames = st
+	r.FullFrames.Add(int64(st.FullFrames))
+	r.DeltaFrames.Add(int64(st.DeltaFrames))
+	r.ZeroFrames.Add(int64(st.ZeroFrames))
+	r.DedupFrames.Add(int64(st.DedupFrames))
+	if run.img.Full {
+		// A full image (initial sync, resync baseline) is pure full/zero
+		// frames; its hashing pipelines with the bulk stream chunk by chunk
+		// instead of delaying the submission of a transfer that dwarfs it.
+		return 0
+	}
+	c := r.Ctr.Host.Kernel.Costs
+	return simtime.Duration(st.HashedPages)*c.PageHash +
+		simtime.Duration(st.DiffedPages)*c.PageDiff
+}
+
+// ResetMeasurement clears the per-epoch measurement streams and frame
+// counters so subsequent samples reflect steady state only: the harness
+// calls it at the end of its warmup window, excluding the one-time
+// initial synchronization and the epochs queued behind its bulk
+// transfer (the paper's tables report steady-state checkpoints).
+// Protocol state — epoch numbers, the ack watermark, the delta
+// encoder's bases, resync counters — is untouched.
+func (r *Replicator) ResetMeasurement() {
+	r.StopTimes = metrics.Stream{}
+	r.StateBytes = metrics.Stream{}
+	r.BytesOnWire = metrics.Stream{}
+	r.DirtyPages = metrics.Stream{}
+	r.FreezeWaits = metrics.Stream{}
+	r.SockCollects = metrics.Stream{}
+	r.ThreadColls = metrics.Stream{}
+	r.MemCopies = metrics.Stream{}
+	r.VMACollects = metrics.Stream{}
+	for s := Stage(0); s < NumStages; s++ {
+		r.StageTimes[s] = metrics.Stream{}
+	}
+	r.FullFrames = metrics.Counter{}
+	r.DeltaFrames = metrics.Counter{}
+	r.ZeroFrames = metrics.Counter{}
+	r.DedupFrames = metrics.Counter{}
+}
+
+// DeltaHitRate returns the fraction of transferred pages that shipped
+// compressed by the delta path (XOR patches and zero-page elisions).
+func (r *Replicator) DeltaHitRate() float64 {
+	total := r.FullFrames.Value() + r.DeltaFrames.Value() +
+		r.ZeroFrames.Value() + r.DedupFrames.Value()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.DeltaFrames.Value()+r.ZeroFrames.Value()) / float64(total)
+}
+
+// DedupHitRate returns the fraction of transferred pages that shipped as
+// dedup references to an identical committed page.
+func (r *Replicator) DedupHitRate() float64 {
+	total := r.FullFrames.Value() + r.DeltaFrames.Value() +
+		r.ZeroFrames.Value() + r.DedupFrames.Value()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.DedupFrames.Value()) / float64(total)
 }
 
 // InflightEpochs returns the number of epochs whose pipeline has not yet

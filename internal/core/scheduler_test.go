@@ -154,3 +154,93 @@ func TestSchedulerZeroByteTransfer(t *testing.T) {
 		t.Fatal("empty transfer never completed")
 	}
 }
+
+// Delta-compressed epochs produce wildly variable chunk sizes (a 24-byte
+// zero frame next to a 4 KiB full frame). A flow streaming tiny delta
+// chunks must not be starved by a flow streaming full-size chunks: the
+// round-robin is per chunk, so a delta image of K frames pays at most K
+// bulk-chunk serializations (~210 µs each) before delivery, regardless of
+// how many megabytes the bulk flow still has queued.
+func TestSchedulerFairnessVariableDeltaChunks(t *testing.T) {
+	clock, link, sched := newTestScheduler()
+	done := map[string]simtime.Time{}
+	mark := func(id string) func() { return func() { done[id] = clock.Now() } }
+
+	// Bulk flow: a full-frame image, 128 × 256 KiB chunks (≈27 ms).
+	var bulk []int64
+	for i := 0; i < 128; i++ {
+		bulk = append(bulk, 256<<10)
+	}
+	// Delta flow: 40 tiny frames, 24..3608 bytes (≈60 µs of payload).
+	var deltaChunks []int64
+	var deltaBytes int64
+	for i := 0; i < 40; i++ {
+		sz := int64(24 + (i%8)*512)
+		deltaChunks = append(deltaChunks, sz)
+		deltaBytes += sz
+	}
+	sched.SubmitReq("repl-bulk", bulk, mark("bulk"), nil)
+	sched.SubmitReq("repl-delta", deltaChunks, mark("delta"), nil)
+	clock.RunFor(simtime.Second)
+
+	if done["bulk"] == 0 || done["delta"] == 0 {
+		t.Fatalf("deliveries missing: %v", done)
+	}
+	if done["delta"] >= done["bulk"] {
+		t.Fatalf("delta flow starved: delta=%v bulk=%v", done["delta"], done["bulk"])
+	}
+	// 40 delta chunks interleave with 40 bulk chunks (~210 µs each), so
+	// the delta image lands around 8.5 ms — well before the bulk stream's
+	// ≈27 ms, and never FIFO'd behind the whole bulk transfer.
+	if done["delta"] > simtime.Time(12*simtime.Millisecond) {
+		t.Fatalf("delta flow delivered at %v, want within ~12ms", done["delta"])
+	}
+	if got := link.BytesSent(); got != 128*(256<<10)+deltaBytes {
+		t.Fatalf("link bytes = %d, want %d", got, 128*(256<<10)+deltaBytes)
+	}
+}
+
+// Drop accounting with variable-size chunks: when the link goes down
+// mid-stream, every in-flight transfer's dropped callback fires exactly
+// once, done never fires for them, and the queue drains completely.
+func TestSchedulerDropAccountingVariableChunks(t *testing.T) {
+	clock, link, sched := newTestScheduler()
+	var doneCnt, dropCnt int
+
+	var bulk []int64
+	for i := 0; i < 128; i++ {
+		bulk = append(bulk, 256<<10) // ≈27 ms serialization
+	}
+	var tiny []int64
+	for i := 0; i < 5000; i++ {
+		tiny = append(tiny, 24+int64(i%5)*997) // ≈10 ms of ragged chunks
+	}
+	sched.SubmitReq("repl-bulk", bulk, func() { doneCnt++ }, func() { dropCnt++ })
+	sched.SubmitReq("repl-delta", tiny, func() { doneCnt++ }, func() { dropCnt++ })
+
+	clock.RunFor(2 * simtime.Millisecond) // both mid-stream
+	link.SetDown(true)
+	clock.RunFor(100 * simtime.Millisecond)
+
+	if doneCnt != 0 {
+		t.Fatalf("done fired %d times for cut transfers", doneCnt)
+	}
+	if dropCnt != 2 {
+		t.Fatalf("dropped fired %d times, want exactly once per transfer", dropCnt)
+	}
+	if q := sched.QueuedBytes(); q != 0 {
+		t.Fatalf("scheduler wedged: %d bytes still queued", q)
+	}
+
+	// The scheduler must keep working afterwards, and completed transfers
+	// must never also report a drop.
+	link.SetDown(false)
+	sched.SubmitReq("repl-delta", []int64{24, 4120, 56}, func() { doneCnt++ }, func() { dropCnt++ })
+	clock.RunFor(100 * simtime.Millisecond)
+	if doneCnt != 1 {
+		t.Fatalf("post-outage transfer: done fired %d times", doneCnt)
+	}
+	if dropCnt != 2 {
+		t.Fatalf("post-outage transfer also dropped: %d", dropCnt)
+	}
+}

@@ -24,6 +24,7 @@ func BenchmarkVMACollection(b *testing.B) {
 			e := NewEngine(ctr, opts)
 			defer e.Close()
 			var virtual simtime.Duration
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_, stats := e.Checkpoint()
@@ -52,6 +53,7 @@ func BenchmarkPageTransfer(b *testing.B) {
 			_, _ = e.Checkpoint()
 			ctr.Thaw()
 			var virtual simtime.Duration
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = p.Mem.Touch(v, 0, 5000, byte(i))
@@ -73,6 +75,7 @@ func BenchmarkIncrementalCheckpoint(b *testing.B) {
 	defer e.Close()
 	_, _ = e.Checkpoint()
 	ctr.Thaw()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = p.Mem.Touch(v, (i*317)%20000, 5000, byte(i))
@@ -93,6 +96,7 @@ func BenchmarkRestore(b *testing.B) {
 	defer e.Close()
 	img, _ := e.Checkpoint()
 	ctr.Thaw()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		backup := newBenchHost(clock)
@@ -102,6 +106,38 @@ func BenchmarkRestore(b *testing.B) {
 		}
 		virtual := m.Stop()
 		b.ReportMetric(float64(virtual.Milliseconds()), "virtual-restore-ms")
+	}
+}
+
+// BenchmarkDeltaEncode measures the delta encoder's real per-image cost
+// at a streamcluster-like dirty set (256 lightly-touched pages per
+// epoch), with allocation tracking: steady-state encoding must recycle
+// page buffers through the pool, not allocate fresh ones per epoch.
+func BenchmarkDeltaEncode(b *testing.B) {
+	const pages = 256
+	mkimg := func(epoch uint64, full bool, seed byte) *Image {
+		ps := make([]PageImage, pages)
+		for p := range ps {
+			d := getPageBuf(simkernel.PageSize)
+			for j := range d {
+				d[j] = byte(p)*3 + 1
+			}
+			d[0] = seed // one-byte churn per epoch → delta frames
+			ps[p] = PageImage{PN: uint64(p), Data: d}
+		}
+		return &Image{Epoch: epoch, Full: full, Procs: []ProcessImage{{PID: 1, Pages: ps}}}
+	}
+	enc := NewDeltaEncoder(true, true)
+	enc.EncodeImage(mkimg(0, true, 0), 0, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		epoch := uint64(i + 1)
+		st := enc.EncodeImage(mkimg(epoch, false, byte(i)+1), epoch-1, true)
+		if st.DeltaFrames == 0 {
+			b.Fatal("no delta frames")
+		}
+		b.ReportMetric(float64(st.WireBytes)/pages, "wire-B/page")
 	}
 }
 

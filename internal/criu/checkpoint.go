@@ -183,7 +183,9 @@ func (e *Engine) Checkpoint() (*Image, CheckpointStats) {
 			if data == nil {
 				continue
 			}
-			cp := make([]byte, len(data))
+			// Pooled scratch buffer; the copy overwrites it completely.
+			// The delta encoder recycles it if the page compresses away.
+			cp := getPageBuf(len(data))
 			copy(cp, data)
 			pi.Pages = append(pi.Pages, PageImage{PN: pn, Data: cp})
 			k.Charge(perPage)

@@ -19,7 +19,9 @@ type PageImage struct {
 	Data []byte
 }
 
-// ProcessImage is one process's checkpointed state.
+// ProcessImage is one process's checkpointed state. Pages holds the
+// verbatim dirty pages as collected; when the delta encoder rewrites the
+// image for the wire (DESIGN.md §8), Pages is replaced by Frames.
 type ProcessImage struct {
 	PID     int
 	Name    string
@@ -29,6 +31,7 @@ type ProcessImage struct {
 	FDs     []simkernel.FDSnapshot
 	Timers  []simkernel.TimerSnapshot
 	Pages   []PageImage
+	Frames  []PageFrame
 }
 
 // InfrequentState bundles the in-kernel container state components that
@@ -78,6 +81,11 @@ type Image struct {
 	// certify the disk.
 	DiskResync bool
 
+	// Encoded marks that the dirty pages were rewritten into wire
+	// frames (ProcessImage.Frames) by the delta encoder; StreamChunks
+	// then splits WireSizeBytes instead of the logical SizeBytes.
+	Encoded bool
+
 	// AppState is the workload's user-space state snapshot.
 	AppState any
 }
@@ -86,7 +94,7 @@ type Image struct {
 func (img *Image) DirtyPages() int {
 	n := 0
 	for i := range img.Procs {
-		n += len(img.Procs[i].Pages)
+		n += len(img.Procs[i].Pages) + len(img.Procs[i].Frames)
 	}
 	return n
 }
@@ -98,7 +106,35 @@ func (img *Image) SizeBytes() int64 {
 	var n int64
 	for i := range img.Procs {
 		p := &img.Procs[i]
+		n += int64(len(p.Pages)+len(p.Frames)) * (simkernel.PageSize + 16)
+	}
+	return n + img.nonPageBytes()
+}
+
+// WireSizeBytes returns the image's actual transfer size: the encoded
+// frames' wire bytes when the delta encoder ran, the logical size
+// otherwise. Non-page state always travels verbatim.
+func (img *Image) WireSizeBytes() int64 {
+	if !img.Encoded {
+		return img.SizeBytes()
+	}
+	var n int64
+	for i := range img.Procs {
+		p := &img.Procs[i]
 		n += int64(len(p.Pages)) * (simkernel.PageSize + 16)
+		for fi := range p.Frames {
+			n += p.Frames[fi].WireBytes()
+		}
+	}
+	return n + img.nonPageBytes()
+}
+
+// nonPageBytes is the non-page portion of the image's transfer size:
+// per-object records, socket queues, the fs cache and infrequent state.
+func (img *Image) nonPageBytes() int64 {
+	var n int64
+	for i := range img.Procs {
+		p := &img.Procs[i]
 		n += int64(len(p.Threads)) * 256
 		n += int64(len(p.VMAs)) * 64
 		n += int64(len(p.FDs)) * 64
@@ -128,7 +164,7 @@ func (img *Image) SizeBytes() int64 {
 // copy-on-write capture (pipelined transfer), so the bytes are stable
 // while the container runs. The last chunk carries the remainder.
 func (img *Image) StreamChunks(chunkBytes int64) []int64 {
-	total := img.SizeBytes()
+	total := img.WireSizeBytes()
 	if chunkBytes <= 0 || total <= chunkBytes {
 		return []int64{total}
 	}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"encoding/json"
+
+	"nilicon/internal/core"
+	"nilicon/internal/workloads"
+)
+
+// Bench3Row is one ladder step of the BENCH_3 wire-format sweep.
+type Bench3Row struct {
+	Name string `json:"name"`
+	// Overhead is the relative execution-time increase on streamcluster.
+	Overhead float64 `json:"overhead"`
+	// BytesOnWirePerEpoch is the mean bytes actually transferred per
+	// steady-state epoch.
+	BytesOnWirePerEpoch float64 `json:"bytes_on_wire_per_epoch"`
+	// EpochP50Ms / EpochP99Ms are percentiles of the end-to-end epoch
+	// (output-commit) latency, milliseconds.
+	EpochP50Ms float64 `json:"epoch_p50_ms"`
+	EpochP99Ms float64 `json:"epoch_p99_ms"`
+	// StopMs is the mean stop-phase pause, milliseconds.
+	StopMs float64 `json:"stop_ms"`
+	// DeltaHitRate / DedupHitRate are the fractions of transferred pages
+	// shipped as delta/zero frames and as dedup references.
+	DeltaHitRate float64 `json:"delta_hit_rate"`
+	DedupHitRate float64 `json:"dedup_hit_rate"`
+}
+
+// Bench3Report is the committed BENCH_3.json document.
+type Bench3Report struct {
+	Benchmark string      `json:"benchmark"`
+	Seed      int64       `json:"seed"`
+	Rows      []Bench3Row `json:"rows"`
+}
+
+// RunBench3 measures the Table I ladder plus the §8 delta-compression
+// rows on streamcluster: bytes on the wire per epoch, epoch-latency
+// percentiles and stop time for every step. The steps run on the
+// harness worker pool (Jobs); output order is fixed.
+func RunBench3(rc RunConfig) Bench3Report {
+	rc.defaults()
+	stock := RunBatch(workloads.Streamcluster, Stock, rc)
+
+	deltaOnly := core.AllOpts()
+	deltaOnly.DeltaPages = true
+	steps := append(core.Table1Ladder(),
+		core.LadderStep{Name: "+ Delta-compressed pages", Opts: deltaOnly},
+		core.LadderStep{Name: "+ Backup page dedup", Opts: core.DeltaOpts()},
+	)
+
+	rows := make([]Bench3Row, len(steps))
+	runIndexed(len(steps), Jobs,
+		func(i int) {
+			stepRC := rc
+			opts := steps[i].Opts
+			stepRC.Opts = &opts
+			res := RunBatch(workloads.Streamcluster, NiLiCon, stepRC)
+			rows[i] = Bench3Row{
+				Name:                steps[i].Name,
+				Overhead:            Overhead(stock, res),
+				BytesOnWirePerEpoch: res.WireMean,
+				EpochP50Ms:          res.CommitP50 * 1000,
+				EpochP99Ms:          res.CommitP99 * 1000,
+				StopMs:              res.StopMean * 1000,
+				DeltaHitRate:        res.DeltaHit,
+				DedupHitRate:        res.DedupHit,
+			}
+		},
+		func(i int) { progressf("bench3: %s", steps[i].Name) })
+
+	return Bench3Report{Benchmark: "streamcluster", Seed: rc.Seed, Rows: rows}
+}
+
+// JSON renders the report with stable formatting for committing.
+func (r Bench3Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

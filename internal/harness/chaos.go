@@ -13,7 +13,9 @@ import (
 
 // ChaosOptSets is the configuration matrix the chaos sweep runs against:
 // the unoptimized baseline, the serialized stop-and-copy graph with
-// buffered input, the fully optimized set, and the overlapped transfer.
+// buffered input, the fully optimized set, the overlapped transfer, and
+// the delta-compressed wire format (whose campaigns force delta ↔
+// full-resync transitions at every injected outage).
 func ChaosOptSets() []core.LadderStep {
 	stopcopy := core.AllOpts()
 	stopcopy.StagingBuffer = false
@@ -22,33 +24,76 @@ func ChaosOptSets() []core.LadderStep {
 		{Name: "stop-and-copy", Opts: stopcopy},
 		{Name: "all", Opts: core.AllOpts()},
 		{Name: "pipelined", Opts: core.PipelinedOpts()},
+		{Name: "delta", Opts: core.DeltaOpts()},
 	}
 }
 
 // RunChaosSweep runs `seeds` chaos campaigns (seeds base..base+seeds-1)
-// against every option set in the matrix. Every campaign is executed
-// twice so the determinism oracle (same seed ⇒ byte-identical trace) is
-// always checked alongside the runtime oracles. It returns every
-// campaign result plus a per-option-set summary table.
+// against every option set in the matrix, on the harness's worker pool
+// (Jobs). Every campaign is executed twice so the determinism oracle
+// (same seed ⇒ byte-identical trace) is always checked alongside the
+// runtime oracles. It returns every campaign result plus a per-option-set
+// summary table.
 func RunChaosSweep(seeds int, base int64, duration simtime.Duration) ([]chaos.Result, *metrics.Table) {
+	return RunChaosSweepParallel(seeds, base, duration, Jobs)
+}
+
+// RunChaosSweepParallel is RunChaosSweep with an explicit worker count.
+// Campaigns run concurrently, but each seeded DES run is single-threaded
+// and results are aggregated in (option set, seed) order, so the results
+// slice, the progress lines and the summary table are byte-identical for
+// any jobs value.
+func RunChaosSweepParallel(seeds int, base int64, duration simtime.Duration, jobs int) ([]chaos.Result, *metrics.Table) {
 	if seeds <= 0 {
 		seeds = 20
 	}
-	var results []chaos.Result
+	steps := ChaosOptSets()
+	type campaign struct {
+		step core.LadderStep
+		seed int64
+	}
+	var campaigns []campaign
+	for _, step := range steps {
+		for s := int64(0); s < int64(seeds); s++ {
+			campaigns = append(campaigns, campaign{step, base + s})
+		}
+	}
+	results := make([]chaos.Result, len(campaigns))
+
 	tb := metrics.NewTable("Chaos sweep: seeded fault campaigns × option sets",
 		"OptSet", "Campaigns", "Passed", "Terminals", "Epochs", "Resyncs", "Drops", "Failovers")
-	for _, step := range ChaosOptSets() {
-		var passed int
-		var epochs uint64
-		var resyncs, drops int64
-		var failovers int
-		terminals := map[string]int{}
-		for s := int64(0); s < int64(seeds); s++ {
-			seed := base + s
-			res := chaos.VerifySeed(chaos.Config{
-				Seed: seed, Opts: step.Opts, OptName: step.Name, Duration: duration,
+	var passed, failovers int
+	var epochs uint64
+	var resyncs, drops int64
+	terminals := map[string]int{}
+	flush := func(name string) {
+		var tnames []string
+		for t, n := range terminals {
+			tnames = append(tnames, fmt.Sprintf("%s:%d", t, n))
+		}
+		// Deterministic column ordering for the summary.
+		sort.Strings(tnames)
+		tb.AddRow(name,
+			fmt.Sprintf("%d", seeds),
+			fmt.Sprintf("%d", passed),
+			strings.Join(tnames, " "),
+			fmt.Sprintf("%d", epochs),
+			fmt.Sprintf("%d", resyncs),
+			fmt.Sprintf("%d", drops),
+			fmt.Sprintf("%d", failovers))
+		passed, failovers, epochs, resyncs, drops = 0, 0, 0, 0, 0
+		terminals = map[string]int{}
+	}
+
+	runIndexed(len(campaigns), jobs,
+		func(i int) {
+			cmp := campaigns[i]
+			results[i] = chaos.VerifySeed(chaos.Config{
+				Seed: cmp.seed, Opts: cmp.step.Opts, OptName: cmp.step.Name, Duration: duration,
 			})
-			results = append(results, res)
+		},
+		func(i int) {
+			cmp, res := campaigns[i], results[i]
 			terminals[res.Terminal]++
 			epochs += res.Epochs
 			resyncs += res.Resyncs
@@ -59,26 +104,14 @@ func RunChaosSweep(seeds int, base int64, duration simtime.Duration) ([]chaos.Re
 			} else {
 				for _, v := range res.Verdicts {
 					if !v.OK {
-						progressf("chaos %s seed=%d FAIL %s: %s", step.Name, seed, v.Oracle, v.Detail)
+						progressf("chaos %s seed=%d FAIL %s: %s", cmp.step.Name, cmp.seed, v.Oracle, v.Detail)
 					}
 				}
 			}
-			progressf("chaos %s seed=%d terminal=%s passed=%v", step.Name, seed, res.Terminal, res.Passed)
-		}
-		var tnames []string
-		for name, n := range terminals {
-			tnames = append(tnames, fmt.Sprintf("%s:%d", name, n))
-		}
-		// Deterministic column ordering for the summary.
-		sort.Strings(tnames)
-		tb.AddRow(step.Name,
-			fmt.Sprintf("%d", seeds),
-			fmt.Sprintf("%d", passed),
-			strings.Join(tnames, " "),
-			fmt.Sprintf("%d", epochs),
-			fmt.Sprintf("%d", resyncs),
-			fmt.Sprintf("%d", drops),
-			fmt.Sprintf("%d", failovers))
-	}
+			progressf("chaos %s seed=%d terminal=%s passed=%v", cmp.step.Name, cmp.seed, res.Terminal, res.Passed)
+			if (i+1)%seeds == 0 {
+				flush(cmp.step.Name)
+			}
+		})
 	return results, tb
 }

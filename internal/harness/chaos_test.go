@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -32,5 +34,36 @@ func TestChaosSweepSmall(t *testing.T) {
 		if !strings.Contains(tb.String(), step.Name) {
 			t.Fatalf("summary table missing option set %q:\n%s", step.Name, tb)
 		}
+	}
+}
+
+// TestChaosSweepParallelByteIdentical: the -j worker pool must not change
+// any output. The results slice, the rendered summary table and even the
+// streamed progress lines are byte-identical between a serial run and a
+// 4-worker run, because each seeded DES run is single-threaded and all
+// collection happens in (option set, seed) order on one goroutine.
+func TestChaosSweepParallelByteIdentical(t *testing.T) {
+	oldVerbose := Verbose
+	defer func() { Verbose = oldVerbose }()
+
+	capture := func(jobs int) ([]string, string, interface{}) {
+		var lines []string
+		Verbose = func(format string, args ...any) {
+			lines = append(lines, fmt.Sprintf(format, args...))
+		}
+		results, tb := RunChaosSweepParallel(2, 31, 500*simtime.Millisecond, jobs)
+		return lines, tb.String(), results
+	}
+	lines1, table1, results1 := capture(1)
+	lines4, table4, results4 := capture(4)
+
+	if !reflect.DeepEqual(lines1, lines4) {
+		t.Fatalf("progress lines differ between -j 1 and -j 4:\n%v\nvs\n%v", lines1, lines4)
+	}
+	if table1 != table4 {
+		t.Fatalf("summary tables differ:\n%s\nvs\n%s", table1, table4)
+	}
+	if !reflect.DeepEqual(results1, results4) {
+		t.Fatal("result slices differ between -j 1 and -j 4")
 	}
 }

@@ -30,23 +30,27 @@ type Table1Row struct {
 }
 
 // RunTable1 reproduces Table I: streamcluster's overhead as each §V
-// optimization is enabled cumulatively. Paper: 1940% → 31%.
+// optimization is enabled cumulatively. Paper: 1940% → 31%. The rungs
+// run on the harness worker pool (Jobs); each run is an independent
+// deterministic simulation, and rows are collected in ladder order.
 func RunTable1(rc RunConfig) ([]Table1Row, *metrics.Table) {
 	rc.defaults()
 	stock := RunBatch(workloads.Streamcluster, Stock, rc)
-	var rows []Table1Row
-	for _, step := range core.Table1Ladder() {
-		progressf("table1: %s...", step.Name)
-		stepRC := rc
-		opts := step.Opts
-		stepRC.Opts = &opts
-		res := RunBatch(workloads.Streamcluster, NiLiCon, stepRC)
-		rows = append(rows, Table1Row{
-			Name:     step.Name,
-			Overhead: Overhead(stock, res),
-			StopMean: simtime.Duration(res.StopMean * float64(simtime.Second)),
-		})
-	}
+	ladder := core.Table1Ladder()
+	rows := make([]Table1Row, len(ladder))
+	runIndexed(len(ladder), Jobs,
+		func(i int) {
+			stepRC := rc
+			opts := ladder[i].Opts
+			stepRC.Opts = &opts
+			res := RunBatch(workloads.Streamcluster, NiLiCon, stepRC)
+			rows[i] = Table1Row{
+				Name:     ladder[i].Name,
+				Overhead: Overhead(stock, res),
+				StopMean: simtime.Duration(res.StopMean * float64(simtime.Second)),
+			}
+		},
+		func(i int) { progressf("table1: %s", ladder[i].Name) })
 	tb := metrics.NewTable("Table I: impact of NiLiCon's performance optimizations (streamcluster)",
 		"Optimization", "Overhead", "Mean stop")
 	for _, r := range rows {

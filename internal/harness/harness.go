@@ -53,6 +53,10 @@ type RunConfig struct {
 	// on top of the default option set. Ignored when Opts is set: an
 	// experiment that pins an explicit option set owns its transfer mode.
 	Pipelined bool
+	// Delta enables the delta-compressed replication stream (DeltaPages +
+	// BackupPageDedup) on top of the default option set. Ignored when
+	// Opts is set, like Pipelined.
+	Delta bool
 	// Clients overrides the profile's saturating client count.
 	Clients int
 }
@@ -102,6 +106,15 @@ type RunResult struct {
 	// StageMeans holds the mean virtual-time cost of each pipeline stage
 	// (seconds, indexed by core.Stage; NiLiCon mode only).
 	StageMeans [core.NumStages]float64
+
+	// Wire-format measurements (NiLiCon mode; DESIGN.md §8). WireMean is
+	// the mean bytes actually sent per steady-state epoch — equal to
+	// StateMean unless the delta encoder compressed the stream. CommitP50
+	// and CommitP99 are percentiles of the end-to-end output-commit
+	// latency (seconds).
+	WireMean             float64
+	CommitP50, CommitP99 float64
+	DeltaHit, DedupHit   float64
 }
 
 // setup builds a cluster with the workload installed on a protected
@@ -131,8 +144,14 @@ func nlConfig(prof workloads.Profile, fresh func() workloads.Workload, rc RunCon
 		// ladder, the pipeline ablation rows) owns the transfer mode too;
 		// the global Pipelined toggle must not silently rewrite its rows.
 		cfg.Opts = *rc.Opts
-	} else if rc.Pipelined {
-		cfg.Opts.PipelinedTransfer = true
+	} else {
+		if rc.Pipelined {
+			cfg.Opts.PipelinedTransfer = true
+		}
+		if rc.Delta {
+			cfg.Opts.DeltaPages = true
+			cfg.Opts.BackupPageDedup = true
+		}
 	}
 	cfg.ExtraStopPerCheckpoint = prof.TotalExtraStop()
 	cfg.RuntimeTaxPerEpoch = prof.RuntimeTax
@@ -170,6 +189,11 @@ func RunServer(mk func() *workloads.Server, mode Mode, rc RunConfig) RunResult {
 
 	clock.RunFor(rc.Warmup)
 	set.BeginWindow()
+	if repl != nil {
+		// Measure steady state: drop the initial synchronization and the
+		// epochs queued behind its bulk transfer.
+		repl.ResetMeasurement()
+	}
 	runtimeAt := ctr.RuntimeOverhead
 	busyAt := ctr.CPUBusy
 	var backupAt simtime.Duration
@@ -228,6 +252,13 @@ func RunBatch(mk func() *workloads.Parsec, mode Mode, rc RunConfig) RunResult {
 	}
 
 	start := clock.Now()
+	if repl != nil {
+		// Let the initial synchronization and its queued epochs drain,
+		// then measure steady state (the workload keeps executing, so the
+		// elapsed time still covers the whole run).
+		clock.RunFor(rc.Warmup)
+		repl.ResetMeasurement()
+	}
 	// Run until the workload finishes (bounded by a generous ceiling).
 	for i := 0; i < 100000 && !wl.Done(); i++ {
 		clock.RunFor(10 * simtime.Millisecond)
@@ -271,6 +302,11 @@ func fillStageMeans(res *RunResult, repl *core.Replicator) {
 	for s := core.Stage(0); s < core.NumStages; s++ {
 		res.StageMeans[s] = repl.StageTimes[s].Mean()
 	}
+	res.WireMean = repl.BytesOnWire.Mean()
+	res.CommitP50 = repl.StageTimes[core.StageReleaseOutput].Percentile(50)
+	res.CommitP99 = repl.StageTimes[core.StageReleaseOutput].Percentile(99)
+	res.DeltaHit = repl.DeltaHitRate()
+	res.DedupHit = repl.DedupHitRate()
 }
 
 // RunTimeline runs a server benchmark under NiLiCon and returns the

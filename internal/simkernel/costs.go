@@ -136,6 +136,19 @@ type Costs struct {
 	// the NAS (stock CRIU behaviour, prohibitive at epoch frequency).
 	FlushPerPage simtime.Duration
 
+	// --- Delta-compressed replication wire format (DESIGN.md §8) --------------
+
+	// PageHash is the cost of FNV-1a hashing one 4 KiB page (the content
+	// tag on every encoded frame): ≈1 byte/cycle on the modeled core.
+	PageHash simtime.Duration
+	// PageDiff is the cost of one 4 KiB page-pair comparison: the XOR
+	// diff scan when building a delta patch, or the byte-verification of
+	// a dedup donor (vectorized, several bytes/cycle).
+	PageDiff simtime.Duration
+	// PageDeltaApply is the backup-side cost of applying a sparse XOR
+	// patch to reconstruct a page.
+	PageDeltaApply simtime.Duration
+
 	// --- Restore ---------------------------------------------------------------
 
 	// RestoreBase is the fixed cost of recreating the container skeleton
@@ -213,6 +226,10 @@ func DefaultCosts() *Costs {
 
 		FgetfcPerEntry: 2 * simtime.Microsecond,
 		FlushPerPage:   18 * simtime.Microsecond,
+
+		PageHash:       1200 * simtime.Nanosecond,
+		PageDiff:       400 * simtime.Nanosecond,
+		PageDeltaApply: 300 * simtime.Nanosecond,
 
 		RestoreBase:       150 * simtime.Millisecond,
 		RestorePerPage:    2500 * simtime.Nanosecond,

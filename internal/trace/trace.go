@@ -37,6 +37,16 @@ type EpochRecord struct {
 	// stalled pipeline (link outage, slow backup) directly in the
 	// timeline.
 	Inflight int
+
+	// WireBytes is the epoch's actual transfer size: equal to StateBytes
+	// unless the delta encoder rewrote the pages into compressed frames.
+	WireBytes int64
+	// Frame mix of the epoch's encoded pages (all full frames when the
+	// delta encoder is disabled).
+	FullFrames  int
+	DeltaFrames int
+	ZeroFrames  int
+	DedupFrames int
 }
 
 // Timeline accumulates epoch records.
@@ -56,11 +66,11 @@ func (tl *Timeline) Records() []EpochRecord { return tl.records }
 // WriteCSV emits the series with a header row. Durations are in
 // microseconds, the timestamp in milliseconds.
 func (tl *Timeline) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages,transfer_us,ack_us,commit_us,inflight"); err != nil {
+	if _, err := fmt.Fprintln(w, "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages,transfer_us,ack_us,commit_us,inflight,wire_bytes,full_frames,delta_frames,zero_frames,dedup_frames"); err != nil {
 		return err
 	}
 	for _, r := range tl.records {
-		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			r.Epoch,
 			float64(r.At)/1e6,
 			r.Stop.Microseconds(),
@@ -72,7 +82,12 @@ func (tl *Timeline) WriteCSV(w io.Writer) error {
 			r.Transfer.Microseconds(),
 			r.AckWait.Microseconds(),
 			r.Commit.Microseconds(),
-			r.Inflight)
+			r.Inflight,
+			r.WireBytes,
+			r.FullFrames,
+			r.DeltaFrames,
+			r.ZeroFrames,
+			r.DedupFrames)
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,7 @@ func TestTimelineCSV(t *testing.T) {
 		StateBytes: 1 << 20, DirtyPages: 250,
 		Transfer: 900 * simtime.Microsecond, AckWait: 60 * simtime.Microsecond,
 		Commit: 6 * simtime.Millisecond, Inflight: 2,
+		WireBytes: 2048, FullFrames: 1, DeltaFrames: 200, ZeroFrames: 30, DedupFrames: 19,
 	})
 	tl.Record(EpochRecord{Epoch: 2, At: simtime.Time(128 * simtime.Millisecond)})
 	var b strings.Builder
@@ -30,7 +31,7 @@ func TestTimelineCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "epoch,at_ms,stop_us") {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[1] != "1,64.000,5000,100,300,200,1048576,250,900,60,6000,2" {
+	if lines[1] != "1,64.000,5000,100,300,200,1048576,250,900,60,6000,2,2048,1,200,30,19" {
 		t.Fatalf("row = %q", lines[1])
 	}
 	if tl.Len() != 2 {

@@ -13,6 +13,7 @@ package workloads
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"nilicon/internal/container"
 	"nilicon/internal/core"
@@ -209,22 +210,31 @@ func ValueFor(key uint64, version uint32, size int) []byte {
 
 // pageCache memoizes PageFor: the function is pure and both the servers
 // and the verifying clients call it per request, so the shared cached
-// slice saves regenerating large bodies. The simulation is
-// single-threaded; no locking is needed.
-var pageCache = map[uint64][]byte{}
+// slice saves regenerating large bodies. Each simulation is
+// single-threaded, but the harness runs independent simulations on a
+// worker pool, so the cache itself is locked.
+var (
+	pageCacheMu sync.RWMutex
+	pageCache   = map[uint64][]byte{}
+)
 
 // PageFor deterministically derives a web page body from a path id (the
 // "golden copy" the paper validates responses against). The returned
 // slice is shared and must not be mutated.
 func PageFor(pathID uint32, size int) []byte {
 	key := uint64(pathID)<<32 | uint64(uint32(size))
-	if p, ok := pageCache[key]; ok {
+	pageCacheMu.RLock()
+	p, ok := pageCache[key]
+	pageCacheMu.RUnlock()
+	if ok {
 		return p
 	}
 	out := make([]byte, size)
 	for i := range out {
 		out[i] = byte(uint32(i)*2654435761 + pathID*97 + uint32(i)>>8)
 	}
+	pageCacheMu.Lock()
 	pageCache[key] = out
+	pageCacheMu.Unlock()
 	return out
 }
