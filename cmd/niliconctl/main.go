@@ -17,7 +17,12 @@
 //	bench          BENCH_3.json: the optimization ladder plus the §8
 //	               delta-compression rows, as JSON on stdout
 //	chaos          Seeded deterministic fault campaign with invariant
-//	               oracles (-sweep for the full seed × option-set matrix)
+//	               oracles (-sweep for the full matrix, including the
+//	               fleet scenarios)
+//	fleet          Fleet campaign: -pairs containers over -hosts workers
+//	               (+ -spares), -kills concurrent host failures, all
+//	               oracles verified (-smoke for the reduced CI shape)
+//	fleetbench     BENCH_4.json: fleet scaling sweep, as JSON on stdout
 //	scale-threads  Streamcluster 1..32 threads
 //	scale-clients  Lighttpd 2..128 clients
 //	scale-procs    Lighttpd 1..8 processes
@@ -27,10 +32,10 @@
 // on experiments that run a replicator (timeline, validate, fig3, ...).
 // The -delta flag enables the delta-compressed replication stream
 // (DeltaPages + BackupPageDedup, DESIGN.md §8) the same way. The -j flag
-// runs sweep-style experiments (chaos -sweep, table1, pipeline, bench)
-// on a worker pool; every seeded run stays single-threaded and results
-// are collected in a fixed order, so output is byte-identical for any
-// -j value.
+// runs sweep-style experiments (chaos -sweep, table1, pipeline, bench,
+// fleetbench) on a worker pool; every seeded run stays single-threaded
+// and results are collected in a fixed order, so output is
+// byte-identical for any -j value.
 //
 // All experiments run in virtual time and are fully deterministic for a
 // given -seed.
@@ -49,23 +54,32 @@ import (
 	"nilicon/internal/simtime"
 )
 
+// flags shared across subcommands; parsed once in main.
+var (
+	fs       = flag.NewFlagSet("niliconctl", flag.ExitOnError)
+	seed     = fs.Int64("seed", 1, "deterministic simulation seed")
+	warmup   = fs.Duration("warmup", time.Second, "virtual warmup before measurement")
+	measure  = fs.Duration("measure", 3*time.Second, "virtual measurement window")
+	runs     = fs.Int("runs", 5, "validation runs per benchmark")
+	bench    = fs.String("bench", "redis", "benchmark for the timeline command")
+	runLen   = fs.Duration("runlen", 20*time.Second, "validation run length (paper: 60s, 50 runs)")
+	pipeline = fs.Bool("pipeline", false, "enable the overlapped (pipelined) state transfer")
+	delta    = fs.Bool("delta", false, "enable the delta-compressed replication stream (XOR page deltas, zero elision, backup page dedup)")
+	jobs     = fs.Int("j", 1, "worker-pool width for sweep experiments (output is identical for any value)")
+	seeds    = fs.Int("seeds", 20, "chaos: campaigns per matrix entry in sweep mode")
+	optsName = fs.String("opts", "all", "chaos: option set (basic|stop-and-copy|all|pipelined|delta)")
+	sweep    = fs.Bool("sweep", false, "chaos: run the full matrix sweep instead of one campaign")
+	chaosDur = fs.Duration("chaos-duration", 1500*time.Millisecond, "chaos/fleet: fault-injection window (virtual)")
+	pairs    = fs.Int("pairs", 8, "fleet: protected container pairs")
+	hosts    = fs.Int("hosts", 4, "fleet: worker hosts in the pool")
+	spares   = fs.Int("spares", 2, "fleet: spare hosts for re-protection")
+	kills    = fs.Int("kills", 2, "fleet: concurrent host failures to inject")
+	smoke    = fs.Bool("smoke", false, "fleet: reduced CI shape (4 pairs, 4 hosts, 1 kill, short window)")
+)
+
 func main() {
-	fs := flag.NewFlagSet("niliconctl", flag.ExitOnError)
-	seed := fs.Int64("seed", 1, "deterministic simulation seed")
-	warmup := fs.Duration("warmup", time.Second, "virtual warmup before measurement")
-	measure := fs.Duration("measure", 3*time.Second, "virtual measurement window")
-	runs := fs.Int("runs", 5, "validation runs per benchmark")
-	bench := fs.String("bench", "redis", "benchmark for the timeline command")
-	runLen := fs.Duration("runlen", 20*time.Second, "validation run length (paper: 60s, 50 runs)")
-	pipelined := fs.Bool("pipeline", false, "enable the overlapped (pipelined) state transfer")
-	delta := fs.Bool("delta", false, "enable the delta-compressed replication stream (XOR page deltas, zero elision, backup page dedup)")
-	jobs := fs.Int("j", 1, "worker-pool width for sweep experiments (output is identical for any value)")
-	seeds := fs.Int("seeds", 20, "chaos: campaigns per option set in sweep mode")
-	optsName := fs.String("opts", "all", "chaos: option set (basic|stop-and-copy|all|pipelined|delta)")
-	sweep := fs.Bool("sweep", false, "chaos: run the full seed × option-set sweep instead of one campaign")
-	chaosDur := fs.Duration("chaos-duration", 1500*time.Millisecond, "chaos: fault-injection window (virtual)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|bench|chaos|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
+		fmt.Fprintf(os.Stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|bench|chaos|fleet|fleetbench|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
 		fs.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -75,106 +89,204 @@ func main() {
 	cmd := os.Args[1]
 	_ = fs.Parse(os.Args[2:])
 
-	rc := harness.RunConfig{Seed: *seed, Warmup: *warmup, Measure: *measure, Pipelined: *pipelined, Delta: *delta}
 	harness.Jobs = *jobs
 	harness.Verbose = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
 
-	run := func(name string) {
-		switch name {
-		case "table1":
-			_, tb := harness.RunTable1(rc)
-			fmt.Println(tb)
-		case "table2":
-			_, tb := harness.RunTable2(rc)
-			fmt.Println(tb)
-		case "fig3":
-			rows, tb := harness.RunFigure3(rc)
-			fmt.Println(harness.RenderFigure3(rows))
-			fmt.Println(tb)
-			fmt.Println(harness.Table3(rows))
-			fmt.Println(harness.Table4(rows))
-			fmt.Println(harness.Table5(rows))
-		case "table6":
-			_, tb := harness.RunTable6(rc)
-			fmt.Println(tb)
-		case "validate":
-			_, tb := harness.RunValidationOpts(nil, *runs, simtime.Duration(*runLen), *seed, *pipelined)
-			fmt.Println(tb)
-		case "pipeline":
-			_, tb := harness.RunPipelineAblation(rc)
-			fmt.Println(tb)
-		case "bench":
-			out, err := harness.RunBench3(rc).JSON()
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			os.Stdout.Write(out)
-		case "chaos":
-			if *sweep {
-				results, tb := harness.RunChaosSweep(*seeds, *seed, simtime.Duration(*chaosDur))
-				fmt.Println(tb)
-				for _, res := range results {
-					if !res.Passed {
-						os.Exit(1)
-					}
-				}
-				return
-			}
-			var opts *core.OptSet
-			for _, step := range harness.ChaosOptSets() {
-				if step.Name == *optsName {
-					o := step.Opts
-					opts = &o
-				}
-			}
-			if opts == nil {
-				fmt.Fprintf(os.Stderr, "unknown option set %q\n", *optsName)
-				os.Exit(2)
-			}
-			res := chaos.VerifySeed(chaos.Config{
-				Seed: *seed, Opts: *opts, OptName: *optsName,
-				Duration: simtime.Duration(*chaosDur),
-			})
-			fmt.Print(res.Trace)
-			if !res.Passed {
-				os.Exit(1)
-			}
-		case "scale-threads":
-			_, tb := harness.RunScaleThreads(nil, rc)
-			fmt.Println(tb)
-		case "scale-clients":
-			_, tb := harness.RunScaleClients(nil, rc)
-			fmt.Println(tb)
-		case "scale-procs":
-			_, tb := harness.RunScaleProcs(nil, rc)
-			fmt.Println(tb)
-		case "report":
-			fmt.Println(report.Build(rc))
-		case "timeline":
-			csv, err := harness.RunTimeline(*bench, rc)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Print(csv)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			fs.Usage()
-			os.Exit(2)
-		}
-	}
-
 	if cmd == "all" {
 		for _, name := range []string{"table1", "table2", "fig3", "table6", "validate", "pipeline", "scale-threads", "scale-clients", "scale-procs"} {
 			fmt.Printf("== %s ==\n", name)
-			run(name)
+			if err := runCommand(name); err != nil {
+				fail(name, err)
+			}
 		}
 		return
 	}
-	run(cmd)
+	if err := runCommand(cmd); err != nil {
+		fail(cmd, err)
+	}
+}
+
+// fail reports a subcommand error uniformly on stderr and exits nonzero.
+// Unknown-command errors exit 2 (usage), everything else 1.
+func fail(cmd string, err error) {
+	fmt.Fprintf(os.Stderr, "niliconctl %s: %v\n", cmd, err)
+	if _, ok := err.(unknownCommandError); ok {
+		fs.Usage()
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+type unknownCommandError string
+
+func (e unknownCommandError) Error() string { return fmt.Sprintf("unknown experiment %q", string(e)) }
+
+// runConfig assembles the shared RunConfig from the parsed flags.
+func runConfig() harness.RunConfig {
+	return harness.RunConfig{Seed: *seed, Warmup: *warmup, Measure: *measure, Pipelined: *pipeline, Delta: *delta}
+}
+
+// runCommand dispatches one experiment; every branch is a run helper
+// returning an error so exit handling stays in one place.
+func runCommand(name string) error {
+	switch name {
+	case "table1":
+		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunTable1(rc); return tb })
+	case "table2":
+		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunTable2(rc); return tb })
+	case "fig3":
+		return runFig3()
+	case "table6":
+		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunTable6(rc); return tb })
+	case "validate":
+		return runValidate()
+	case "pipeline":
+		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunPipelineAblation(rc); return tb })
+	case "bench":
+		return runBench()
+	case "chaos":
+		return runChaos()
+	case "fleet":
+		return runFleet()
+	case "fleetbench":
+		return runFleetBench()
+	case "scale-threads":
+		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunScaleThreads(nil, rc); return tb })
+	case "scale-clients":
+		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunScaleClients(nil, rc); return tb })
+	case "scale-procs":
+		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunScaleProcs(nil, rc); return tb })
+	case "report":
+		fmt.Println(report.Build(runConfig()))
+		return nil
+	case "timeline":
+		return runTimeline()
+	default:
+		return unknownCommandError(name)
+	}
+}
+
+// runTable covers the experiments whose whole output is one table.
+func runTable(f func(harness.RunConfig) fmt.Stringer) error {
+	fmt.Println(f(runConfig()))
+	return nil
+}
+
+func runFig3() error {
+	rows, tb := harness.RunFigure3(runConfig())
+	fmt.Println(harness.RenderFigure3(rows))
+	fmt.Println(tb)
+	fmt.Println(harness.Table3(rows))
+	fmt.Println(harness.Table4(rows))
+	fmt.Println(harness.Table5(rows))
+	return nil
+}
+
+func runValidate() error {
+	_, tb := harness.RunValidationOpts(nil, *runs, simtime.Duration(*runLen), *seed, *pipeline)
+	fmt.Println(tb)
+	return nil
+}
+
+func runBench() error {
+	out, err := harness.RunBench3(runConfig()).JSON()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}
+
+func runChaos() error {
+	if *sweep {
+		results, tb := harness.RunChaosSweep(*seeds, *seed, simtime.Duration(*chaosDur))
+		fmt.Println(tb)
+		failed := 0
+		for _, res := range results {
+			if !res.Passed {
+				failed++
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d campaigns failed", failed, len(results))
+		}
+		return nil
+	}
+	var opts *core.OptSet
+	for _, step := range harness.ChaosOptSets() {
+		if step.Name == *optsName {
+			o := step.Opts
+			opts = &o
+		}
+	}
+	if opts == nil {
+		return fmt.Errorf("unknown option set %q", *optsName)
+	}
+	res := chaos.VerifySeed(chaos.Config{
+		Seed: *seed, Opts: *opts, OptName: *optsName,
+		Duration: simtime.Duration(*chaosDur),
+	})
+	fmt.Print(res.Trace)
+	if !res.Passed {
+		return fmt.Errorf("campaign failed (seed %d, opts %s)", *seed, *optsName)
+	}
+	return nil
+}
+
+func runFleet() error {
+	cfg := chaos.FleetConfig{
+		Seed:    *seed,
+		Opts:    core.AllOpts(),
+		OptName: "all",
+		Pairs:   *pairs,
+		Workers: *hosts,
+		Spares:  *spares,
+		Kills:   *kills,
+	}
+	if d := simtime.Duration(*chaosDur); d > 0 {
+		cfg.Duration = d
+	}
+	if *smoke {
+		cfg.Pairs, cfg.Workers, cfg.Spares, cfg.Kills = 4, 4, 1, 1
+		cfg.Duration = 600 * simtime.Millisecond
+	}
+	if cfg.Pairs <= 0 || cfg.Workers < 2 {
+		return fmt.Errorf("need at least 1 pair and 2 hosts (got -pairs %d -hosts %d)", cfg.Pairs, cfg.Workers)
+	}
+	res := chaos.VerifyFleetSeed(cfg)
+	fmt.Print(res.Trace)
+	for _, v := range res.Verdicts {
+		if v.Oracle == "determinism" {
+			fmt.Printf("verdict determinism %s: %s\n", map[bool]string{true: "PASS", false: "FAIL"}[v.OK], v.Detail)
+		}
+	}
+	if !res.Passed {
+		return fmt.Errorf("fleet campaign failed (seed %d, %d pairs, %d+%d hosts, %d kills)",
+			cfg.Seed, cfg.Pairs, cfg.Workers, cfg.Spares, cfg.Kills)
+	}
+	return nil
+}
+
+func runFleetBench() error {
+	rep := harness.RunBench4(*seed)
+	fmt.Fprintln(os.Stderr, harness.Bench4Table(rep))
+	out, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}
+
+func runTimeline() error {
+	csv, err := harness.RunTimeline(*bench, runConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Print(csv)
+	return nil
 }
 
 // The "all" output is what EXPERIMENTS.md's committed run log contains;

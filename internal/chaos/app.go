@@ -91,8 +91,14 @@ type kvClient struct {
 }
 
 func newKVClient(cl *core.Cluster, ip, serverIP simnet.Addr) *kvClient {
+	return newKVClientOn(cl.NewClient(ip), serverIP)
+}
+
+// newKVClientOn drives the workload over an already-attached client
+// stack (the fleet campaign attaches one client per pair to the shared
+// LAN).
+func newKVClientOn(st *simnet.Stack, serverIP simnet.Addr) *kvClient {
 	c := &kvClient{}
-	st := cl.NewClient(ip)
 	st.Connect(serverIP, 6379, func(s *simnet.Socket) {
 		c.sock = s
 		s.OnData = func(s *simnet.Socket) {

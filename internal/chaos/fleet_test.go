@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"nilicon/internal/core"
+)
+
+// TestFleetCampaignDemo is the acceptance scenario: 8 pairs over 4
+// workers plus 2 spares survive 2 concurrent host failures — every
+// affected pair fails over or is fenced, re-protects onto the spares,
+// and all oracles (output-commit, acked-output, convergence,
+// drain-to-zero, determinism) pass.
+func TestFleetCampaignDemo(t *testing.T) {
+	res := VerifyFleetSeed(FleetConfig{
+		Seed:    1,
+		Opts:    core.AllOpts(),
+		OptName: "all",
+		Pairs:   8,
+		Workers: 4,
+		Spares:  2,
+		Kills:   2,
+	})
+	if !res.Passed {
+		t.Fatalf("fleet campaign failed:\n%s", res.Trace)
+	}
+	if res.Failovers == 0 {
+		t.Fatal("campaign killed hosts but no pair failed over")
+	}
+	if len(res.Verdicts) != 5 {
+		t.Fatalf("verdicts = %d, want 5 (output-commit, convergence, acked-output, drain, determinism)", len(res.Verdicts))
+	}
+	if !strings.Contains(res.Trace, "host-dead") {
+		t.Fatalf("trace missing host-death events:\n%s", res.Trace)
+	}
+	// Two concurrent kills: the two host-dead declarations share one
+	// virtual-time instant.
+	var deadAt []string
+	for _, line := range strings.Split(res.Trace, "\n") {
+		if strings.Contains(line, "event host-dead") {
+			deadAt = append(deadAt, strings.Fields(line)[0])
+		}
+	}
+	if len(deadAt) != 2 || deadAt[0] != deadAt[1] {
+		t.Fatalf("host deaths not concurrent: %v", deadAt)
+	}
+}
+
+// TestFleetCampaignSeeds sweeps a few seeds at a smaller pool size to
+// vary kill timing and victim choice.
+func TestFleetCampaignSeeds(t *testing.T) {
+	for seed := int64(2); seed <= 4; seed++ {
+		res := VerifyFleetSeed(FleetConfig{
+			Seed:    seed,
+			Opts:    core.AllOpts(),
+			OptName: "all",
+			Pairs:   4,
+			Workers: 4,
+			Spares:  1,
+			Kills:   1,
+		})
+		if !res.Passed {
+			t.Fatalf("seed %d failed:\n%s", seed, res.Trace)
+		}
+	}
+}
+
+// TestFleetKillsNeverAdjacent checks the schedule-drawing invariant
+// directly across many seeds: victims are never ring-adjacent, so no
+// pair can lose both hosts in one instant.
+func TestFleetKillsNeverAdjacent(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		c := &fleetCampaign{cfg: FleetConfig{Seed: seed}}
+		c.cfg.defaults()
+		c.drawKills()
+		if len(c.victims) != 2 {
+			t.Fatalf("seed %d: %d victims, want 2", seed, len(c.victims))
+		}
+		w := c.cfg.Workers
+		d := (c.victims[0] - c.victims[1] + w) % w
+		if d == 1 || d == w-1 {
+			t.Fatalf("seed %d drew adjacent victims %v", seed, c.victims)
+		}
+	}
+}

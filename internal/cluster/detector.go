@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"nilicon/internal/core"
+	"nilicon/internal/simtime"
+)
+
+// Host-level failure detection (DESIGN.md §9): the fleet aggregates the
+// per-pair heartbeat machinery of internal/core into a verdict about
+// hosts. A host is declared dead only when EVERY pair with an agent on
+// it reports staleness — a single pair's silence could be that pair's
+// own problem, but a host that has gone quiet on all of its pairs at
+// once has lost power or its NIC. The detector reads nothing but the
+// per-pair evidence (never the injected ground truth, Host.killed);
+// chaos oracles compare its belief against the truth from outside.
+//
+// Evidence per pair, by the dead candidate's role:
+//
+//   - primary on the host: the pair's backup agent tracks the last
+//     primary heartbeat (BackupAgent.LastHeartbeat). Backups that have
+//     not committed an initial sync yet self-reset that clock (they
+//     cannot distinguish a dead primary from a long first checkpoint)
+//     and therefore contribute no evidence either way.
+//   - backup on the host: the pair's primary tracks the last reverse
+//     liveness beat (Replicator.LastBackupBeat, Config.BackupBeat).
+//
+// Declaring a host dead triggers, in the same virtual-time instant, a
+// concurrent failover of every Protected pair whose primary ran there
+// and a fencing (FenceBackup) of every pair backed there; the fenced
+// pairs queue for re-protection (reprotect.go).
+
+// deadline is the host-level staleness threshold, matching the per-pair
+// detector: HeartbeatMisses consecutive silent intervals.
+func (f *Fleet) deadline() simtime.Duration {
+	cfg := core.DefaultConfig()
+	return simtime.Duration(cfg.HeartbeatMisses) * cfg.HeartbeatInterval
+}
+
+// hostEvidence tallies one host's liveness evidence. excluded filters
+// out observers sitting on the given suspect hosts: a stale heartbeat
+// at backup B about pair P→B is ambiguous — it means "P dead OR B
+// dead" — so an observer that is itself suspected of being dead proves
+// nothing about the host it observes.
+func (f *Fleet) hostEvidence(h *Host, excluded map[int]bool) (evidence, stale int) {
+	now := f.Clock.Now()
+	deadline := f.deadline()
+	for _, pr := range f.Pairs {
+		if pr.State != Protected && pr.State != Resyncing {
+			continue
+		}
+		switch h.Index {
+		case pr.PrimaryHost:
+			// Observer: the pair's backup agent. Backups that have not
+			// committed yet self-reset their heartbeat clock (they cannot
+			// tell a dead primary from a long first checkpoint) and so
+			// contribute nothing.
+			if !f.Hosts[pr.BackupHost].Alive || excluded[pr.BackupHost] {
+				continue
+			}
+			if _, ok := pr.Repl.Backup.CommittedEpoch(); !ok {
+				continue
+			}
+			evidence++
+			if now.Sub(pr.Repl.Backup.LastHeartbeat()) > deadline {
+				stale++
+			}
+		case pr.BackupHost:
+			// Observer: the pair's primary replicator (reverse beats).
+			if !f.Hosts[pr.PrimaryHost].Alive || excluded[pr.PrimaryHost] {
+				continue
+			}
+			evidence++
+			if now.Sub(pr.Repl.LastBackupBeat()) > deadline {
+				stale++
+			}
+		}
+	}
+	return evidence, stale
+}
+
+// checkHosts is the fleet detector tick: a two-round sweep. Round one
+// collects the suspect set from unfiltered evidence; round two
+// re-tallies each suspect counting only observers on non-suspect hosts
+// and declares the ones whose independent evidence is still unanimous.
+// Without the second round, two hosts dying at once poison each other's
+// neighbors: host A's backup agents for pairs primaried on healthy host
+// B go silent when A dies, and B would be declared dead on A's corpse's
+// testimony alone. Declarations happen after the whole sweep, so every
+// victim of a concurrent multi-host failure is declared in the same
+// virtual-time instant.
+func (f *Fleet) checkHosts() {
+	if f.quiesced {
+		return
+	}
+	suspects := make(map[int]bool)
+	for _, h := range f.Hosts {
+		if !h.Alive {
+			continue
+		}
+		if evidence, stale := f.hostEvidence(h, nil); evidence > 0 && stale == evidence {
+			suspects[h.Index] = true
+		}
+	}
+	var dead []*Host
+	for _, h := range f.Hosts {
+		if !suspects[h.Index] {
+			continue
+		}
+		others := make(map[int]bool, len(suspects))
+		for s := range suspects {
+			if s != h.Index {
+				others[s] = true
+			}
+		}
+		if evidence, stale := f.hostEvidence(h, others); evidence > 0 && stale == evidence {
+			dead = append(dead, h)
+		}
+	}
+	for _, h := range dead {
+		f.declareHostDead(h)
+	}
+}
+
+// declareHostDead flips the control plane's belief and transitions every
+// pair touching the host. All failovers triggered here run in the same
+// virtual-time instant — the concurrent-failover property the fleet
+// demo asserts.
+func (f *Fleet) declareHostDead(h *Host) {
+	h.Alive = false
+	h.CoresUsed, h.PagesUsed = 0, 0
+	f.eventf("host-dead host=%s", h.Name)
+	for _, pr := range f.Pairs {
+		switch h.Index {
+		case pr.PrimaryHost:
+			f.primaryHostDied(pr)
+		case pr.BackupHost:
+			f.backupHostDied(pr)
+		}
+	}
+}
+
+// primaryHostDied handles a pair whose primary ran on the dead host.
+func (f *Fleet) primaryHostDied(pr *Pair) {
+	switch pr.State {
+	case Protected:
+		pr.State = FailingOver
+		f.eventf("failover-start pair=%s from=%s to=%s",
+			pr.ID, f.Hosts[pr.PrimaryHost].Name, f.Hosts[pr.BackupHost].Name)
+		// The pair's own detector may already have fired (both run at the
+		// same cadence); Recover is idempotent.
+		pr.Repl.Backup.Recover()
+		if err := pr.Repl.Backup.RecoverError(); err != nil {
+			pr.State = Lost
+			f.eventf("pair-lost pair=%s err=%v", pr.ID, err)
+		} else if !pr.Repl.Backup.Recovered() {
+			// A halted backup cannot recover: both of the pair's hosts are
+			// gone. The fault-model boundary (DESIGN.md §9) — NiLiCon
+			// tolerates one failure per pair at a time.
+			pr.State = Lost
+			f.eventf("pair-lost pair=%s reason=both-hosts-dead", pr.ID)
+		}
+	case Resyncing:
+		// The new backup has no committed state to recover to.
+		pr.Repl.Stop()
+		pr.Repl.Backup.Halt()
+		f.removeResync(pr.Index)
+		if bh := f.Hosts[pr.BackupHost]; bh.Alive {
+			bh.PagesUsed -= pairBackupPgs
+		}
+		pr.State = Lost
+		f.eventf("pair-lost pair=%s reason=primary-died-during-resync", pr.ID)
+	case Degraded:
+		f.dequeueReprotect(pr.Index)
+		pr.State = Lost
+		f.eventf("pair-lost pair=%s reason=unprotected-primary-died", pr.ID)
+	}
+}
+
+// backupHostDied handles a pair backed on the dead host: fence the dead
+// backup off the shared machinery and queue the pair for re-protection.
+func (f *Fleet) backupHostDied(pr *Pair) {
+	switch pr.State {
+	case Protected, Resyncing:
+		if pr.State == Resyncing {
+			f.removeResync(pr.Index)
+		}
+		pr.Repl.FenceBackup()
+		pr.Fences++
+		pr.State = Degraded
+		// The container already runs a keep-alive task (from its original
+		// start or a prior re-protection); the next replicator must not
+		// stack another one.
+		pr.keepAliveOnReprotect = false
+		f.enqueueReprotect(pr.Index)
+		f.eventf("fence pair=%s primary=%s", pr.ID, f.Hosts[pr.PrimaryHost].Name)
+	case FailingOver:
+		// The restore target died mid-restore; nothing survives.
+		pr.State = Lost
+		f.eventf("pair-lost pair=%s reason=died-mid-restore", pr.ID)
+	}
+}
+
+// pairRecovered is the per-pair OnRecovered callback: the backup's
+// restore completed and the container's network is live on the former
+// backup host.
+func (f *Fleet) pairRecovered(pr *Pair, rc core.RestoredContainer, stats core.RecoveryStats) {
+	pr.Ctr = rc
+	pr.Failovers++
+	pr.LastFailover = &stats
+	f.FailoverLatencies.Add(stats.NetworkLiveAt.Sub(stats.DetectedAt).Seconds())
+
+	// The pair's home moves to the surviving host; its backup reservation
+	// there becomes the primary's (same page count) plus a core.
+	oldPrimary := pr.PrimaryHost
+	pr.PrimaryHost = pr.BackupHost
+	nh := f.Hosts[pr.PrimaryHost]
+	nh.CoresUsed += pairCores
+	// The authoritative volume is now the promoted backup end.
+	pr.Vol = pr.View.DRBDBackup.Local
+	pr.State = Degraded
+	// The restore rebuilt the process tree without a keep-alive task;
+	// the re-protection replicator must start one.
+	pr.keepAliveOnReprotect = true
+	f.enqueueReprotect(pr.Index)
+	f.eventf("recovered pair=%s on=%s epoch=%d from=%s", pr.ID, nh.Name,
+		stats.CommittedEpoch, f.Hosts[oldPrimary].Name)
+}
+
+// KillHost injects a host power loss (ground truth; chaos host-fault
+// schedules call this). The host's NIC goes down, containers running
+// there stop, and agents hosted there halt. Detection and the resulting
+// failovers/fences are the detector's job — KillHost deliberately
+// touches no control-plane state.
+func (f *Fleet) KillHost(i int) {
+	h := f.Hosts[i]
+	if h.killed {
+		return
+	}
+	h.killed = true
+	h.NIC.SetDown(true)
+	for _, pr := range f.Pairs {
+		switch i {
+		case pr.PrimaryHost:
+			// Mirror faultinject.HardKill: the veth detaches (buffered
+			// output can never escape), execution stops, and the epoch
+			// engine quiesces so a dead host schedules no new checkpoints.
+			if pr.Ctr != nil && pr.Ctr.Host == h.H {
+				pr.Ctr.Disconnect()
+				pr.Ctr.Stop()
+			}
+			pr.Repl.Quiesce()
+		case pr.BackupHost:
+			pr.Repl.Backup.Halt()
+		}
+	}
+	f.eventf("kill-host host=%s", h.Name)
+}

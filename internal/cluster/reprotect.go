@@ -1,0 +1,139 @@
+package cluster
+
+import "nilicon/internal/core"
+
+// Rolling re-protection (DESIGN.md §9): pairs left Degraded by a
+// failover or a fence queue here, and a pump ticker re-protects them
+// onto spare capacity one admission slot at a time. The admission limit
+// (Params.MaxConcurrentResyncs) is what keeps a host failure from
+// flooding every replication NIC with simultaneous initial
+// synchronizations: an initial sync ships the pair's full memory image
+// and disk, and N of them at once would starve the steady-state epoch
+// streams of healthy pairs sharing those NICs (the TransferScheduler's
+// round-robin keeps them *fair*, but fairness across N+1 flows still
+// divides the NIC N+1 ways).
+
+// enqueueReprotect appends a pair to the re-protection queue (FIFO:
+// pairs recover protection in the order they lost it).
+func (f *Fleet) enqueueReprotect(idx int) {
+	for _, q := range f.reprotectQ {
+		if q == idx {
+			return
+		}
+	}
+	f.reprotectQ = append(f.reprotectQ, idx)
+}
+
+// dequeueReprotect removes a pair from the queue (it was lost).
+func (f *Fleet) dequeueReprotect(idx int) {
+	for i, q := range f.reprotectQ {
+		if q == idx {
+			f.reprotectQ = append(f.reprotectQ[:i], f.reprotectQ[i+1:]...)
+			return
+		}
+	}
+}
+
+// removeResync removes a pair from the active-resync set.
+func (f *Fleet) removeResync(idx int) {
+	for i, q := range f.resyncActive {
+		if q == idx {
+			f.resyncActive = append(f.resyncActive[:i], f.resyncActive[i+1:]...)
+			return
+		}
+	}
+}
+
+// pumpReprotect is the re-protection tick: retire completed initial
+// syncs, then admit queued pairs up to the concurrency limit.
+func (f *Fleet) pumpReprotect() {
+	if f.quiesced {
+		return
+	}
+	for i := 0; i < len(f.resyncActive); {
+		pr := f.Pairs[f.resyncActive[i]]
+		if _, ok := pr.Repl.Backup.CommittedEpoch(); ok && pr.State == Resyncing {
+			pr.State = Protected
+			f.resyncActive = append(f.resyncActive[:i], f.resyncActive[i+1:]...)
+			f.eventf("protected pair=%s primary=%s backup=%s", pr.ID,
+				f.Hosts[pr.PrimaryHost].Name, f.Hosts[pr.BackupHost].Name)
+			continue
+		}
+		i++
+	}
+	for len(f.reprotectQ) > 0 && len(f.resyncActive) < f.Params.MaxConcurrentResyncs {
+		idx := f.reprotectQ[0]
+		pr := f.Pairs[idx]
+		if pr.State != Degraded {
+			f.reprotectQ = f.reprotectQ[1:]
+			continue
+		}
+		target := f.pickBackupHost(pr)
+		if target < 0 {
+			// No host has capacity right now (e.g. spares still absorbing
+			// other re-protections); retry on the next tick rather than
+			// head-of-line-dropping the pair.
+			return
+		}
+		f.reprotectQ = f.reprotectQ[1:]
+		f.startReprotect(pr, target)
+	}
+}
+
+// pickBackupHost chooses the least-loaded (by reserved pages) alive
+// host with capacity, excluding the pair's own primary (anti-affinity);
+// ties break toward the lowest index, keeping placement deterministic.
+func (f *Fleet) pickBackupHost(pr *Pair) int {
+	best := -1
+	for _, h := range f.Hosts {
+		if !h.Alive || h.Index == pr.PrimaryHost {
+			continue
+		}
+		if h.PagesUsed+pairBackupPgs > f.Params.PagesPerHost {
+			continue
+		}
+		if best < 0 || h.PagesUsed < f.Hosts[best].PagesUsed {
+			best = h.Index
+		}
+	}
+	return best
+}
+
+// startReprotect builds the pair's new Cluster view over the two hosts'
+// shared NICs and starts a fresh replicator via core.ReprotectOnto. The
+// initial sync traffic rides the pair's own flows on the primary NIC's
+// shared scheduler, so co-located healthy pairs keep their round-robin
+// share throughout.
+func (f *Fleet) startReprotect(pr *Pair, target int) {
+	cur := f.Hosts[pr.PrimaryHost]
+	tgt := f.Hosts[target]
+	view := &core.Cluster{
+		Clock:    f.Clock,
+		Switch:   f.Switch,
+		Primary:  cur.H,
+		Backup:   tgt.H,
+		ReplLink: cur.NIC,
+		AckLink:  tgt.NIC,
+		Xfer:     cur.Xfer,
+	}
+	cfg := f.pairConfig(pr, pr.keepAliveOnReprotect)
+	repl, err := core.ReprotectOnto(view, pr.Ctr, pr.Vol, cfg)
+	if err != nil {
+		// Target vanished between pick and start (killed this tick);
+		// requeue and let the next tick re-pick.
+		f.eventf("reprotect-retry pair=%s err=%v", pr.ID, err)
+		f.enqueueReprotect(pr.Index)
+		return
+	}
+	repl.Timeline = f.Timeline
+	pr.View = view
+	pr.Repl = repl
+	pr.BackupHost = target
+	pr.State = Resyncing
+	pr.Reprotects++
+	tgt.PagesUsed += pairBackupPgs
+	f.resyncActive = append(f.resyncActive, pr.Index)
+	repl.Start()
+	f.eventf("reprotect-start pair=%s primary=%s backup=%s queue=%d",
+		pr.ID, cur.Name, tgt.Name, len(f.reprotectQ))
+}

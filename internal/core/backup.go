@@ -99,6 +99,10 @@ type BackupAgent struct {
 	detector      *simtime.Ticker
 	monitoring    bool
 	recovered     bool
+	// halted marks an agent whose host died (fleet host-kill or fencing):
+	// it must neither receive state, acknowledge, NACK, nor recover —
+	// a dead host runs nothing.
+	halted bool
 
 	// CPUBusy is the backup host's processing time (Table V).
 	CPUBusy simtime.Duration
@@ -139,13 +143,37 @@ func (b *BackupAgent) stop() {
 	}
 }
 
+// Halt kills the agent the way a host power loss would: the detector
+// stops and every handler becomes inert. Unlike stop (measurement
+// teardown), a halted agent stays halted — it can never acknowledge,
+// NACK, or recover.
+func (b *BackupAgent) Halt() {
+	b.halted = true
+	b.stop()
+}
+
+// LastHeartbeat returns the arrival time of the newest primary
+// heartbeat. The fleet's host-level failure detector aggregates this
+// across every pair whose primary shares a host.
+func (b *BackupAgent) LastHeartbeat() simtime.Time { return b.lastHeartbeat }
+
 func (b *BackupAgent) heartbeatArrived() {
+	if b.halted {
+		return
+	}
 	b.lastHeartbeat = b.cl.Clock.Now()
 }
 
 func (b *BackupAgent) checkHeartbeat() {
-	if !b.monitoring || b.recovered {
+	if !b.monitoring || b.recovered || b.halted {
 		return
+	}
+	if b.cfg.BackupBeat {
+		// Reverse liveness beat: an individual packet on the ack link, so
+		// the primary (and through it the fleet control plane) can tell a
+		// dead backup host from a merely idle one.
+		r := b.r
+		b.cl.AckLink.TransferExpress(16, func() { r.backupBeatSeen() })
 	}
 	if b.resyncRequested {
 		// The NACK (or the baseline it asked for) may itself have been
@@ -166,7 +194,7 @@ func (b *BackupAgent) checkHeartbeat() {
 
 // receiveState handles a checkpoint's arrival.
 func (b *BackupAgent) receiveState(epoch uint64, img *criu.Image) {
-	if b.recovered {
+	if b.recovered || b.halted {
 		return
 	}
 	b.pending[epoch] = img
@@ -185,7 +213,7 @@ func (b *BackupAgent) receiveState(epoch uint64, img *criu.Image) {
 // state it supersedes.
 func (b *BackupAgent) tryAck(epoch uint64) {
 	img, ok := b.pending[epoch]
-	if !ok || b.recovered {
+	if !ok || b.recovered || b.halted {
 		return
 	}
 	if !b.cl.DRBDBackup.BarrierReceived(epoch) {
@@ -422,7 +450,7 @@ func (b *BackupAgent) buildRestoreImage() (*criu.Image, error) {
 // bring its network up (disconnect → restore → reconnect + gratuitous
 // ARP → leave repair mode), in the order §III/§IV prescribe.
 func (b *BackupAgent) Recover() {
-	if b.recovered {
+	if b.recovered || b.halted {
 		return
 	}
 	b.recovered = true

@@ -160,6 +160,14 @@ type Config struct {
 	Opts OptSet
 	// KeepAlive starts the keep-alive process in the container (§IV).
 	KeepAlive bool
+	// BackupBeat makes the backup agent send a reverse liveness beat to
+	// the primary on every detector tick. The paper's single-pair
+	// deployment never needs it (a dead backup merely leaves the pair
+	// unprotected until an operator intervenes), but a fleet control
+	// plane (DESIGN.md §9) must detect backup-host loss to re-protect the
+	// affected pairs, and the primary→backup heartbeat alone carries no
+	// information about the backup's health.
+	BackupBeat bool
 
 	// ExtraStopPerCheckpoint is the calibrated residual stop-time cost
 	// of in-kernel state the simulation does not model structurally

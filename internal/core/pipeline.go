@@ -183,7 +183,11 @@ func (run *epochRun) freezeCollect() {
 		r.resyncPending = run.epoch
 		r.resyncPendingB = true
 		epoch := run.epoch
-		snap := cl.Primary.Disk.Clone(r.Ctr.ID + "-resync")
+		// Snapshot the pair's own volume, not the host disk: with the
+		// fleet control plane a host runs many pairs, each on a private
+		// DRBD volume (cl.DRBDPrimary.Local == cl.Primary.Disk only in the
+		// single-pair topology).
+		snap := cl.DRBDPrimary.Local.Clone(r.Ctr.ID + "-resync")
 		snapBytes := int64(snap.Blocks()) * simdisk.BlockSize
 		var chunks []int64
 		for snapBytes > xferChunkBytes {
@@ -362,6 +366,7 @@ func (run *epochRun) record() {
 	r.BytesOnWire.Add(float64(run.wireBytes))
 	if r.Timeline != nil {
 		r.Timeline.Record(trace.EpochRecord{
+			Pair:        r.Ctr.ID,
 			Epoch:       run.epoch,
 			At:          run.startAt,
 			Stop:        run.thawAt.Sub(run.startAt),

@@ -98,6 +98,14 @@ type Replicator struct {
 	hbTicker *simtime.Ticker
 	lastCPU  simtime.Duration
 
+	// lastBackupBeat is when the backup's most recent reverse liveness
+	// beat arrived (Config.BackupBeat); the fleet control plane reads it
+	// to detect backup-host loss.
+	lastBackupBeat simtime.Time
+	// fenced marks a replicator whose backup was declared dead and cut
+	// off (FenceBackup): the pair runs unprotected until re-protected.
+	fenced bool
+
 	epochEvent *simtime.Event
 }
 
@@ -145,6 +153,7 @@ func (r *Replicator) Start() {
 
 	r.hbTicker = simtime.NewTicker(r.Cluster.Clock, r.Cfg.HeartbeatInterval, r.heartbeat)
 	r.lastCPU = r.Ctr.Cgroup.CPUUsage()
+	r.lastBackupBeat = r.Cluster.Clock.Now()
 	r.Backup.start()
 
 	r.epochEvent = r.Cluster.Clock.Schedule(r.Cfg.EpochInterval, r.runEpoch)
@@ -348,6 +357,42 @@ func (r *Replicator) DedupHitRate() float64 {
 		return 0
 	}
 	return float64(r.DedupFrames.Value()) / float64(total)
+}
+
+// AckedThrough returns the cumulative-ack watermark: the newest epoch
+// the backup has acknowledged (ok=false before the first ack). The
+// watermark is monotonic for the lifetime of a replicator; fleet tests
+// assert it never regresses while resync traffic from other pairs
+// shares the replication NIC.
+func (r *Replicator) AckedThrough() (uint64, bool) { return r.ackedThrough, r.hasAcked }
+
+// backupBeatSeen records the arrival of a reverse liveness beat.
+func (r *Replicator) backupBeatSeen() { r.lastBackupBeat = r.Cluster.Clock.Now() }
+
+// LastBackupBeat returns when the backup's most recent reverse beat
+// arrived (only meaningful with Config.BackupBeat).
+func (r *Replicator) LastBackupBeat() simtime.Time { return r.lastBackupBeat }
+
+// Fenced reports whether FenceBackup has run.
+func (r *Replicator) Fenced() bool { return r.fenced }
+
+// FenceBackup cuts a dead backup off from a healthy primary: replication
+// stops, buffered output is flushed (the primary is the authoritative
+// survivor — nothing it produced depends on the lost backup), the DRBD
+// primary end detaches so disk writes stay local, and any of the pair's
+// queued transfer traffic is cancelled so it cannot occupy the shared
+// replication NIC. The container keeps running unprotected; the fleet
+// control plane re-protects it onto a new backup host via ReprotectOnto.
+func (r *Replicator) FenceBackup() {
+	if r.fenced {
+		return
+	}
+	r.fenced = true
+	r.Stop()
+	r.Backup.Halt()
+	_ = r.Cluster.DRBDPrimary.Detach()
+	r.Cluster.Xfer.CancelFlow(r.Ctr.ID)
+	r.Cluster.Xfer.CancelFlow(r.Ctr.ID + "/resync")
 }
 
 // InflightEpochs returns the number of epochs whose pipeline has not yet

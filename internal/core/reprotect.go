@@ -61,3 +61,39 @@ func Reprotect(old *Cluster, ctr *container.Container, cfg Config) (*Cluster, *R
 	repl := NewReplicator(swapped, ctr, cfg)
 	return swapped, repl, nil
 }
+
+// ReprotectOnto re-protects a container onto a backup host that may
+// already run other active pairs (the fleet case, DESIGN.md §9). Unlike
+// Reprotect it takes a pre-built per-pair Cluster view — Primary is the
+// container's current host, Backup the chosen target, ReplLink/AckLink
+// the two hosts' shared replication NICs, and Xfer the primary NIC's
+// shared TransferScheduler — and therefore must not Reset the scheduler
+// or touch host disks: co-located pairs own flows on the same scheduler
+// and volumes on the same hosts. vol is the container's current
+// authoritative volume (the promoted backup volume after a failover, the
+// detached primary volume after a fence).
+//
+// The DRBD initial synchronization clones vol onto the target and
+// charges the full transfer to the shared NIC on the pair's own resync
+// flow, so the scheduler's round-robin keeps co-located pairs' epoch
+// streams flowing at chunk granularity throughout.
+func ReprotectOnto(view *Cluster, ctr *container.Container, vol *simdisk.Disk, cfg Config) (*Replicator, error) {
+	if ctr.Host != view.Primary {
+		return nil, fmt.Errorf("core: reprotect-onto expects the container on the view's primary host %q, got %q",
+			view.Primary.Name, ctr.Host.Name)
+	}
+	if view.ReplLink.Down() || view.AckLink.Down() {
+		return nil, fmt.Errorf("core: reprotect-onto requires the replication links to be up")
+	}
+	if view.Xfer == nil {
+		return nil, fmt.Errorf("core: reprotect-onto requires the primary NIC's shared transfer scheduler")
+	}
+
+	backupVol := vol.Clone(ctr.ID + "-backup")
+	view.DRBDPrimary, view.DRBDBackup = simdisk.NewDRBDPair(vol, backupVol, view.ReplLink)
+	view.Xfer.SubmitBytes(ctr.ID+"/resync",
+		int64(vol.Blocks())*simdisk.BlockSize, nil)
+	ctr.FS.SetStore(view.DRBDPrimary)
+
+	return NewReplicator(view, ctr, cfg), nil
+}

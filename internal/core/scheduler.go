@@ -124,6 +124,27 @@ func (s *TransferScheduler) Reset() {
 	s.cursor = 0
 }
 
+// CancelFlow silently drops one flow's queued requests and marks its
+// in-flight request failed, without firing completion or drop callbacks:
+// used when a pair is fenced off a shared scheduler (the receiver is
+// dead; neither "delivered" nor "lost, please resync" is meaningful).
+// Other flows keep their round-robin position. Chunks already
+// serializing on the link still occupy it until they finish — cancelling
+// cannot retroactively reclaim wire time.
+func (s *TransferScheduler) CancelFlow(id string) {
+	f := s.flows[id]
+	if f == nil {
+		return
+	}
+	for _, req := range f.reqs {
+		req.failed = true
+		req.done = nil
+		req.dropped = nil
+	}
+	f.reqs = nil
+	s.evict(f)
+}
+
 // pump puts the next chunk (round-robin across flows) on the link and
 // schedules itself for when that chunk finishes serializing. Pumping is
 // driven by the clock rather than by delivery callbacks so a link outage

@@ -29,11 +29,12 @@ func ChaosOptSets() []core.LadderStep {
 }
 
 // RunChaosSweep runs `seeds` chaos campaigns (seeds base..base+seeds-1)
-// against every option set in the matrix, on the harness's worker pool
-// (Jobs). Every campaign is executed twice so the determinism oracle
-// (same seed ⇒ byte-identical trace) is always checked alongside the
-// runtime oracles. It returns every campaign result plus a per-option-set
-// summary table.
+// against every option set in the matrix plus every fleet scenario
+// (host-granularity fault schedules, FleetScenarios), on the harness's
+// worker pool (Jobs). Every campaign is executed twice so the
+// determinism oracle (same seed ⇒ byte-identical trace) is always
+// checked alongside the runtime oracles. It returns every campaign
+// result plus a per-matrix-entry summary table.
 func RunChaosSweep(seeds int, base int64, duration simtime.Duration) ([]chaos.Result, *metrics.Table) {
 	return RunChaosSweepParallel(seeds, base, duration, Jobs)
 }
@@ -49,19 +50,27 @@ func RunChaosSweepParallel(seeds int, base int64, duration simtime.Duration, job
 	}
 	steps := ChaosOptSets()
 	type campaign struct {
-		step core.LadderStep
-		seed int64
+		name  string
+		seed  int64
+		opts  core.OptSet
+		fleet *FleetScenario // nil: single-pair campaign
 	}
 	var campaigns []campaign
 	for _, step := range steps {
 		for s := int64(0); s < int64(seeds); s++ {
-			campaigns = append(campaigns, campaign{step, base + s})
+			campaigns = append(campaigns, campaign{name: step.Name, seed: base + s, opts: step.Opts})
+		}
+	}
+	for _, sc := range FleetScenarios() {
+		sc := sc
+		for s := int64(0); s < int64(seeds); s++ {
+			campaigns = append(campaigns, campaign{name: sc.Name, seed: base + s, fleet: &sc})
 		}
 	}
 	results := make([]chaos.Result, len(campaigns))
 
-	tb := metrics.NewTable("Chaos sweep: seeded fault campaigns × option sets",
-		"OptSet", "Campaigns", "Passed", "Terminals", "Epochs", "Resyncs", "Drops", "Failovers")
+	tb := metrics.NewTable("Chaos sweep: seeded fault campaigns × option sets and fleet scenarios",
+		"Matrix", "Campaigns", "Passed", "Terminals", "Epochs", "Resyncs", "Drops", "Failovers")
 	var passed, failovers int
 	var epochs uint64
 	var resyncs, drops int64
@@ -88,8 +97,12 @@ func RunChaosSweepParallel(seeds int, base int64, duration simtime.Duration, job
 	runIndexed(len(campaigns), jobs,
 		func(i int) {
 			cmp := campaigns[i]
+			if cmp.fleet != nil {
+				results[i] = RunFleetCampaign(*cmp.fleet, cmp.seed, duration)
+				return
+			}
 			results[i] = chaos.VerifySeed(chaos.Config{
-				Seed: cmp.seed, Opts: cmp.step.Opts, OptName: cmp.step.Name, Duration: duration,
+				Seed: cmp.seed, Opts: cmp.opts, OptName: cmp.name, Duration: duration,
 			})
 		},
 		func(i int) {
@@ -104,13 +117,13 @@ func RunChaosSweepParallel(seeds int, base int64, duration simtime.Duration, job
 			} else {
 				for _, v := range res.Verdicts {
 					if !v.OK {
-						progressf("chaos %s seed=%d FAIL %s: %s", cmp.step.Name, cmp.seed, v.Oracle, v.Detail)
+						progressf("chaos %s seed=%d FAIL %s: %s", cmp.name, cmp.seed, v.Oracle, v.Detail)
 					}
 				}
 			}
-			progressf("chaos %s seed=%d terminal=%s passed=%v", cmp.step.Name, cmp.seed, res.Terminal, res.Passed)
+			progressf("chaos %s seed=%d terminal=%s passed=%v", cmp.name, cmp.seed, res.Terminal, res.Passed)
 			if (i+1)%seeds == 0 {
-				flush(cmp.step.Name)
+				flush(cmp.name)
 			}
 		})
 	return results, tb

@@ -13,9 +13,10 @@ import (
 // every campaign must pass every oracle and the summary table must carry
 // one row per option set.
 func TestChaosSweepSmall(t *testing.T) {
+	entries := len(ChaosOptSets()) + len(FleetScenarios())
 	results, tb := RunChaosSweep(2, 21, 800*simtime.Millisecond)
-	if len(results) != 2*len(ChaosOptSets()) {
-		t.Fatalf("results = %d, want %d", len(results), 2*len(ChaosOptSets()))
+	if len(results) != 2*entries {
+		t.Fatalf("results = %d, want %d", len(results), 2*entries)
 	}
 	for _, res := range results {
 		if !res.Passed {
@@ -27,13 +28,32 @@ func TestChaosSweepSmall(t *testing.T) {
 			t.Fatalf("campaign %s seed=%d failed", res.OptName, res.Seed)
 		}
 	}
-	if tb.NumRows() != len(ChaosOptSets()) {
-		t.Fatalf("table rows = %d, want %d", tb.NumRows(), len(ChaosOptSets()))
+	if tb.NumRows() != entries {
+		t.Fatalf("table rows = %d, want %d", tb.NumRows(), entries)
 	}
 	for _, step := range ChaosOptSets() {
 		if !strings.Contains(tb.String(), step.Name) {
 			t.Fatalf("summary table missing option set %q:\n%s", step.Name, tb)
 		}
+	}
+	// The fleet scenarios ride in the same matrix: each has a summary row
+	// and its campaigns report host-kill terminals with real failovers.
+	for _, sc := range FleetScenarios() {
+		if !strings.Contains(tb.String(), sc.Name) {
+			t.Fatalf("summary table missing fleet scenario %q:\n%s", sc.Name, tb)
+		}
+	}
+	fleetFailovers := 0
+	for _, res := range results {
+		if strings.HasPrefix(res.OptName, "fleet-") {
+			if !strings.HasPrefix(res.Terminal, "host-kill") {
+				t.Fatalf("fleet campaign %s seed=%d terminal = %q", res.OptName, res.Seed, res.Terminal)
+			}
+			fleetFailovers += res.Failovers
+		}
+	}
+	if fleetFailovers == 0 {
+		t.Fatal("fleet campaigns never failed over")
 	}
 }
 

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBench4Scaling: every pool shape commits epochs, survives its host
+// kill with at least one failover, and shows the NIC-contention trend —
+// the report is also byte-identical between serial and parallel runs.
+func TestBench4Scaling(t *testing.T) {
+	oldJobs := Jobs
+	defer func() { Jobs = oldJobs }()
+
+	Jobs = 1
+	r1 := RunBench4(5)
+	Jobs = 4
+	r4 := RunBench4(5)
+	if !reflect.DeepEqual(r1, r4) {
+		t.Fatal("bench4 report differs between -j 1 and -j 4")
+	}
+
+	if len(r1.Rows) != len(bench4Shapes()) {
+		t.Fatalf("rows = %d, want %d", len(r1.Rows), len(bench4Shapes()))
+	}
+	for _, row := range r1.Rows {
+		if row.Epochs == 0 {
+			t.Fatalf("%s: no epochs committed", row.Scenario)
+		}
+		if row.Failovers == 0 {
+			t.Fatalf("%s: host kill produced no failover", row.Scenario)
+		}
+		if row.EpochP50Ms <= 0 || row.EpochP99Ms < row.EpochP50Ms {
+			t.Fatalf("%s: implausible commit percentiles p50=%.3f p99=%.3f",
+				row.Scenario, row.EpochP50Ms, row.EpochP99Ms)
+		}
+		if row.FailoverMaxMs > 1000 {
+			t.Fatalf("%s: failover latency %.1fms implausibly high", row.Scenario, row.FailoverMaxMs)
+		}
+	}
+
+	out, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || out[len(out)-1] != '\n' {
+		t.Fatal("JSON rendering not newline-terminated")
+	}
+	if Bench4Table(r1).NumRows() != len(r1.Rows) {
+		t.Fatal("table row count mismatch")
+	}
+}

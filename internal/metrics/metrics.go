@@ -137,6 +137,7 @@ type Table struct {
 	Title   string
 	Headers []string
 	rows    [][]string
+	keys    map[string]bool
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -164,6 +165,26 @@ func (t *Table) AddRowf(cells ...any) {
 	}
 	t.AddRow(s...)
 }
+
+// AddKeyedRow appends a row owned by a unique key (a pair ID, an option
+// set name). Two concurrent replicators reporting under the same key
+// would silently interleave their rows in one table; a duplicate key is
+// therefore an error, caught where the collision happens instead of in
+// the rendered output.
+func (t *Table) AddKeyedRow(key string, cells ...string) error {
+	if t.keys == nil {
+		t.keys = make(map[string]bool)
+	}
+	if t.keys[key] {
+		return fmt.Errorf("metrics: duplicate table key %q", key)
+	}
+	t.keys[key] = true
+	t.AddRow(cells...)
+	return nil
+}
+
+// HasKey reports whether a keyed row with the given key exists.
+func (t *Table) HasKey(key string) bool { return t.keys[key] }
 
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }

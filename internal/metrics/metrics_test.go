@@ -271,3 +271,25 @@ func TestPropertyPercentileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTableKeyedRowCollision: keyed rows namespace a shared table by
+// owner (pair ID). Two writers using the same key must fail loudly at
+// the second AddKeyedRow, not silently interleave rows.
+func TestTableKeyedRowCollision(t *testing.T) {
+	tb := NewTable("fleet", "pair", "epochs")
+	if err := tb.AddKeyedRow("p00", "p00", "10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddKeyedRow("p01", "p01", "12"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddKeyedRow("p00", "p00", "99"); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2 (collision must not add a row)", tb.NumRows())
+	}
+	if !tb.HasKey("p01") || tb.HasKey("p07") {
+		t.Fatal("HasKey bookkeeping wrong")
+	}
+}

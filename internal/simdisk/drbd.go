@@ -241,6 +241,20 @@ func (d *DRBD) DiscardAbove(e uint64) {
 // Committed returns the highest epoch applied to the local disk.
 func (d *DRBD) Committed() uint64 { return d.committed }
 
+// Detach disconnects a primary end from its peer: subsequent writes
+// apply locally only and nothing further is shipped. Used when the
+// backup's host is declared dead (fencing) — the primary keeps serving
+// from its local disk until a new DRBD pair is stacked by re-protection.
+func (d *DRBD) Detach() error {
+	if d.Role != RolePrimary {
+		return fmt.Errorf("simdisk: detach on %v end", d.Role)
+	}
+	d.peer = nil
+	d.link = nil
+	d.epochWrites = make(map[uint64]int64)
+	return nil
+}
+
 // Promote turns a secondary into a standalone primary during failover:
 // the restored container's file system writes to the (previously
 // backup) disk directly. Any still-buffered writes must be committed or

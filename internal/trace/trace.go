@@ -15,6 +15,10 @@ import (
 
 // EpochRecord is one checkpoint's measurements.
 type EpochRecord struct {
+	// Pair identifies the protected pair (the container ID) the record
+	// belongs to. Concurrent replicators in a fleet share one Timeline;
+	// the tag keeps their streams from colliding.
+	Pair       string
 	Epoch      uint64
 	At         simtime.Time
 	Stop       simtime.Duration
@@ -63,14 +67,39 @@ func (tl *Timeline) Len() int { return len(tl.records) }
 // Records returns the recorded series (shared slice; do not mutate).
 func (tl *Timeline) Records() []EpochRecord { return tl.records }
 
+// Pairs returns the distinct pair tags present, in first-appearance
+// order (deterministic: records are appended in virtual-time order).
+func (tl *Timeline) Pairs() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, r := range tl.records {
+		if !seen[r.Pair] {
+			seen[r.Pair] = true
+			out = append(out, r.Pair)
+		}
+	}
+	return out
+}
+
+// RecordsFor returns the records of one pair, in recording order.
+func (tl *Timeline) RecordsFor(pair string) []EpochRecord {
+	var out []EpochRecord
+	for _, r := range tl.records {
+		if r.Pair == pair {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // WriteCSV emits the series with a header row. Durations are in
 // microseconds, the timestamp in milliseconds.
 func (tl *Timeline) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages,transfer_us,ack_us,commit_us,inflight,wire_bytes,full_frames,delta_frames,zero_frames,dedup_frames"); err != nil {
+	if _, err := fmt.Fprintln(w, "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages,transfer_us,ack_us,commit_us,inflight,wire_bytes,full_frames,delta_frames,zero_frames,dedup_frames,pair"); err != nil {
 		return err
 	}
 	for _, r := range tl.records {
-		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
 			r.Epoch,
 			float64(r.At)/1e6,
 			r.Stop.Microseconds(),
@@ -87,7 +116,8 @@ func (tl *Timeline) WriteCSV(w io.Writer) error {
 			r.FullFrames,
 			r.DeltaFrames,
 			r.ZeroFrames,
-			r.DedupFrames)
+			r.DedupFrames,
+			r.Pair)
 		if err != nil {
 			return err
 		}

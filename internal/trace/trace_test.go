@@ -10,6 +10,7 @@ import (
 func TestTimelineCSV(t *testing.T) {
 	var tl Timeline
 	tl.Record(EpochRecord{
+		Pair:  "p00",
 		Epoch: 1, At: simtime.Time(64 * simtime.Millisecond),
 		Stop: 5 * simtime.Millisecond, FreezeWait: 100 * simtime.Microsecond,
 		MemCopy: 300 * simtime.Microsecond, SockColl: 200 * simtime.Microsecond,
@@ -18,7 +19,7 @@ func TestTimelineCSV(t *testing.T) {
 		Commit: 6 * simtime.Millisecond, Inflight: 2,
 		WireBytes: 2048, FullFrames: 1, DeltaFrames: 200, ZeroFrames: 30, DedupFrames: 19,
 	})
-	tl.Record(EpochRecord{Epoch: 2, At: simtime.Time(128 * simtime.Millisecond)})
+	tl.Record(EpochRecord{Pair: "p01", Epoch: 2, At: simtime.Time(128 * simtime.Millisecond)})
 	var b strings.Builder
 	if err := tl.WriteCSV(&b); err != nil {
 		t.Fatal(err)
@@ -31,11 +32,17 @@ func TestTimelineCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "epoch,at_ms,stop_us") {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[1] != "1,64.000,5000,100,300,200,1048576,250,900,60,6000,2,2048,1,200,30,19" {
+	if lines[1] != "1,64.000,5000,100,300,200,1048576,250,900,60,6000,2,2048,1,200,30,19,p00" {
 		t.Fatalf("row = %q", lines[1])
 	}
 	if tl.Len() != 2 {
 		t.Fatalf("Len = %d", tl.Len())
+	}
+	if got := tl.Pairs(); len(got) != 2 || got[0] != "p00" || got[1] != "p01" {
+		t.Fatalf("Pairs = %v", got)
+	}
+	if got := tl.RecordsFor("p01"); len(got) != 1 || got[0].Epoch != 2 {
+		t.Fatalf("RecordsFor(p01) = %v", got)
 	}
 }
 
