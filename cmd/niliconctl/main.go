@@ -28,6 +28,11 @@
 //	scale-procs    Lighttpd 1..8 processes
 //	all            Everything above
 //
+// The chaos and fleet campaigns run with output-commit lease arbitration
+// on; -degrade selects the lease degradation policy (strict keeps a
+// primary that lost its backup fenced, availability lets it declare the
+// pair unprotected and serve without acks until re-protection).
+//
 // The -pipeline flag enables the overlapped (pipelined) state transfer
 // on experiments that run a replicator (timeline, validate, fig3, ...).
 // The -delta flag enables the delta-compressed replication stream
@@ -75,6 +80,7 @@ var (
 	spares   = fs.Int("spares", 2, "fleet: spare hosts for re-protection")
 	kills    = fs.Int("kills", 2, "fleet: concurrent host failures to inject")
 	smoke    = fs.Bool("smoke", false, "fleet: reduced CI shape (4 pairs, 4 hosts, 1 kill, short window)")
+	degrade  = fs.String("degrade", "strict", "chaos/fleet: lease degradation policy (strict|availability)")
 )
 
 func main() {
@@ -200,6 +206,10 @@ func runBench() error {
 }
 
 func runChaos() error {
+	pol, err := core.ParseDegradePolicy(*degrade)
+	if err != nil {
+		return err
+	}
 	if *sweep {
 		results, tb := harness.RunChaosSweep(*seeds, *seed, simtime.Duration(*chaosDur))
 		fmt.Println(tb)
@@ -227,6 +237,7 @@ func runChaos() error {
 	res := chaos.VerifySeed(chaos.Config{
 		Seed: *seed, Opts: *opts, OptName: *optsName,
 		Duration: simtime.Duration(*chaosDur),
+		Degrade:  pol,
 	})
 	fmt.Print(res.Trace)
 	if !res.Passed {
@@ -236,6 +247,10 @@ func runChaos() error {
 }
 
 func runFleet() error {
+	pol, err := core.ParseDegradePolicy(*degrade)
+	if err != nil {
+		return err
+	}
 	cfg := chaos.FleetConfig{
 		Seed:    *seed,
 		Opts:    core.AllOpts(),
@@ -244,6 +259,7 @@ func runFleet() error {
 		Workers: *hosts,
 		Spares:  *spares,
 		Kills:   *kills,
+		Degrade: pol,
 	}
 	if d := simtime.Duration(*chaosDur); d > 0 {
 		cfg.Duration = d

@@ -53,6 +53,20 @@ type Config struct {
 	// Events overrides the number of transient fault events (0 draws
 	// 2–6 from the seed).
 	Events int
+	// PreLease disables output-commit lease arbitration, reverting to
+	// the pre-lease detector behavior. It exists for the split-brain
+	// regression: the same seed that passes the at-most-one-serving
+	// oracle with the lease on demonstrably dual-serves with it off.
+	PreLease bool
+	// Degrade selects the lease degradation policy (StrictSafety by
+	// default; ignored under PreLease).
+	Degrade core.DegradePolicy
+	// FaultKinds overrides the transient-fault kinds the schedule draws
+	// from. Nil keeps the legacy cut-repl/cut-ack/partition trio with
+	// its exact historical random stream; a non-nil list may add the
+	// sustained one-way cuts ("oneway-pb", "oneway-bp") and seeded link
+	// flapping ("flap").
+	FaultKinds []string
 }
 
 // Verdict is one oracle's outcome.
@@ -116,6 +130,16 @@ type campaign struct {
 	ocViolations int
 	ocDetail     string
 
+	svChecks     int
+	svViolations int
+	svDetail     string
+
+	// postSettle, when set, runs after the TerminalNone heal-and-settle
+	// window, before data verification. The scripted split-brain
+	// campaigns use it for policy assertions and the
+	// unprotected-pair re-protection step.
+	postSettle func()
+
 	oracleTicker *simtime.Ticker
 }
 
@@ -159,6 +183,14 @@ func (c *campaign) build() {
 
 	cfg := core.DefaultConfig()
 	cfg.Opts = c.cfg.Opts
+	// Campaigns run with lease arbitration on by default: every
+	// pre-existing schedule doubles as a regression for the lease path,
+	// and the at-most-one-serving oracle holds by protocol rather than
+	// by luck. PreLease is the escape hatch for the dual-primary demo.
+	if !c.cfg.PreLease {
+		cfg.Lease = core.DefaultLease()
+		cfg.Degrade = c.cfg.Degrade
+	}
 	cfg.Reattach = func(rc core.RestoredContainer, state any) {
 		c.app.RestoreState(state)
 		c.app.attach(rc)
@@ -177,8 +209,12 @@ func (c *campaign) eventf(format string, args ...any) {
 }
 
 func (c *campaign) emitHeader() {
-	fmt.Fprintf(&c.trace, "chaos seed=%d opts=%s duration=%s terminal=%s\n",
-		c.cfg.Seed, c.cfg.OptName, c.cfg.Duration, c.sched.terminal)
+	lease := "on"
+	if c.cfg.PreLease {
+		lease = "off"
+	}
+	fmt.Fprintf(&c.trace, "chaos seed=%d opts=%s duration=%s terminal=%s lease=%s degrade=%s\n",
+		c.cfg.Seed, c.cfg.OptName, c.cfg.Duration, c.sched.terminal, lease, c.cfg.Degrade)
 	for _, ev := range c.sched.events {
 		fmt.Fprintf(&c.trace, "sched at=%d kind=%s for=%d\n", int64(ev.At), ev.Kind, int64(ev.For))
 	}
@@ -188,10 +224,14 @@ func (c *campaign) emitHeader() {
 func (c *campaign) execute() {
 	c.repl.Start()
 
-	// Output-commit oracle: sampled continuously; the pipeline also
-	// enforces it with a panic, so a violation cannot slip through
-	// between samples unnoticed.
-	c.oracleTicker = simtime.NewTicker(c.clock, simtime.Millisecond, c.checkOutputCommit)
+	// Output-commit and at-most-one-serving oracles: sampled
+	// continuously; the pipeline also enforces output-commit with a
+	// panic, so a violation cannot slip through between samples
+	// unnoticed.
+	c.oracleTicker = simtime.NewTicker(c.clock, simtime.Millisecond, func() {
+		c.checkOutputCommit()
+		c.checkServing()
+	})
 
 	// Writer: one unique SET every 10 ms over a real TCP connection.
 	// Connect before the first epoch boundary: the unoptimized
@@ -244,6 +284,9 @@ func (c *campaign) execute() {
 		faultinject.Heal(c.repl)
 		c.eventf("final-heal")
 		c.clock.RunFor(settleAfter)
+		if c.postSettle != nil {
+			c.postSettle()
+		}
 	case TerminalKill:
 		if c.failovers == 0 {
 			c.kill("terminal-kill")
@@ -291,6 +334,17 @@ func (c *campaign) inject(ev event) {
 		faultinject.CutAck(c.repl)
 	case "partition":
 		faultinject.Partition(c.repl)
+	case "oneway-pb":
+		faultinject.CutPrimaryToBackup(c.repl)
+	case "oneway-bp":
+		faultinject.CutBackupToPrimary(c.repl)
+	case "flap":
+		// The burst schedules its own seeded toggles and ends healed
+		// inside ev.For; the trailing heal below is a harmless no-op that
+		// keeps the event lifecycle uniform in the trace. The salt keeps
+		// multiple flap events in one campaign decorrelated while staying
+		// a pure function of (seed, schedule).
+		faultinject.FlapLinks(c.repl, c.cfg.Seed^int64(ev.At), ev.For)
 	}
 	c.eventf("%s for=%d", ev.Kind, int64(ev.For))
 	c.clock.Schedule(ev.For, func() {
@@ -375,6 +429,10 @@ func (c *campaign) reprotectCycle() {
 
 	cfg2 := core.DefaultConfig()
 	cfg2.Opts = c.cfg.Opts
+	if !c.cfg.PreLease {
+		cfg2.Lease = core.DefaultLease()
+		cfg2.Degrade = c.cfg.Degrade
+	}
 	cfg2.Reattach = func(rc core.RestoredContainer, state any) {
 		c.app.RestoreState(state)
 		c.app.attach(rc)
@@ -415,6 +473,29 @@ func (c *campaign) checkOutputCommit() {
 		c.ocViolations++
 		if c.ocDetail == "" {
 			c.ocDetail = fmt.Sprintf("released=%d committed=%d/%v at t=%d", rel, com, comOK, int64(c.clock.Now()))
+		}
+	}
+}
+
+// checkServing samples the split-brain invariant: at every simulated
+// instant at most one replica of the pair releases output to clients.
+// The predicate reads the current replicator generation — after a
+// reprotect the previously promoted container is that generation's
+// primary, so the old generation's agents are out of the picture.
+func (c *campaign) checkServing() {
+	c.svChecks++
+	n := 0
+	if c.repl.Serving() {
+		n++
+	}
+	if c.repl.Backup.Serving() {
+		n++
+	}
+	if n > 1 {
+		c.svViolations++
+		if c.svDetail == "" {
+			c.svDetail = fmt.Sprintf("primary and promoted backup both serving at t=%d lease=%s",
+				int64(c.clock.Now()), c.repl.LeaseState())
 		}
 	}
 }
@@ -479,6 +560,10 @@ func (c *campaign) finish() Result {
 		Oracle: "output-commit",
 		OK:     c.ocViolations == 0,
 		Detail: fmt.Sprintf("%d samples, %d violations %s", c.ocChecks, c.ocViolations, c.ocDetail),
+	}, {
+		Oracle: "at-most-one-serving",
+		OK:     c.svViolations == 0,
+		Detail: fmt.Sprintf("%d samples, %d dual-serving instants %s", c.svChecks, c.svViolations, c.svDetail),
 	}}, c.verdicts...)
 
 	res := Result{

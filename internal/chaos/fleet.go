@@ -42,6 +42,11 @@ type FleetConfig struct {
 	// Duration is the writer window between warmup and verification.
 	// Default 900 ms.
 	Duration simtime.Duration
+	// PreLease disables per-pair output-release lease arbitration
+	// (the pre-lease fleet behavior); Degrade selects the lease
+	// degradation policy.
+	PreLease bool
+	Degrade  core.DegradePolicy
 }
 
 func (cfg *FleetConfig) defaults() {
@@ -100,6 +105,10 @@ type fleetCampaign struct {
 	ocChecks     int
 	ocViolations int
 	ocDetail     string
+
+	svChecks     int
+	svViolations int
+	svDetail     string
 }
 
 // RunFleet executes one fleet campaign.
@@ -173,12 +182,18 @@ func (c *fleetCampaign) drawKills() {
 
 func (c *fleetCampaign) build() {
 	c.clock = simtime.NewClock()
+	var lease core.LeaseConfig
+	if !c.cfg.PreLease {
+		lease = core.DefaultLease()
+	}
 	f, err := cluster.New(c.clock, cluster.Params{
 		Workers: c.cfg.Workers,
 		Spares:  c.cfg.Spares,
 		Pairs:   c.cfg.Pairs,
 		Seed:    c.cfg.Seed,
 		Opts:    &c.cfg.Opts,
+		Lease:   lease,
+		Degrade: c.cfg.Degrade,
 		// Two concurrent resyncs: with several pairs displaced per host
 		// kill, strictly serial re-protection would leave the fleet
 		// degraded for most of the campaign.
@@ -198,8 +213,12 @@ func (c *fleetCampaign) build() {
 }
 
 func (c *fleetCampaign) emitHeader() {
-	fmt.Fprintf(&c.trace, "chaos-fleet seed=%d opts=%s pairs=%d workers=%d spares=%d duration=%s\n",
-		c.cfg.Seed, c.cfg.OptName, c.cfg.Pairs, c.cfg.Workers, c.cfg.Spares, c.cfg.Duration)
+	lease := "on"
+	if c.cfg.PreLease {
+		lease = "off"
+	}
+	fmt.Fprintf(&c.trace, "chaos-fleet seed=%d opts=%s pairs=%d workers=%d spares=%d duration=%s lease=%s degrade=%s\n",
+		c.cfg.Seed, c.cfg.OptName, c.cfg.Pairs, c.cfg.Workers, c.cfg.Spares, c.cfg.Duration, lease, c.cfg.Degrade)
 	fmt.Fprintf(&c.trace, "sched kill-at=%d victims=%v\n", int64(c.killAt), c.victims)
 }
 
@@ -207,7 +226,10 @@ func (c *fleetCampaign) execute() {
 	f := c.fleet
 	f.Start()
 
-	oracle := simtime.NewTicker(c.clock, simtime.Millisecond, c.checkOutputCommit)
+	oracle := simtime.NewTicker(c.clock, simtime.Millisecond, func() {
+		c.checkOutputCommit()
+		c.checkServing()
+	})
 
 	// One client per pair on the shared LAN, connected early so even a
 	// long first checkpoint cannot starve the handshake.
@@ -329,6 +351,31 @@ func (c *fleetCampaign) checkOutputCommit() {
 	}
 }
 
+// checkServing samples the split-brain invariant per pair: at every
+// simulated instant at most one of a pair's replicas releases output.
+// pr.Repl always points at the current replicator generation (the
+// re-protection pump swaps it), so a fenced-then-re-protected pair is
+// judged on its live machinery.
+func (c *fleetCampaign) checkServing() {
+	for _, pr := range c.fleet.Pairs {
+		c.svChecks++
+		n := 0
+		if pr.Repl.Serving() {
+			n++
+		}
+		if pr.Repl.Backup.Serving() {
+			n++
+		}
+		if n > 1 {
+			c.svViolations++
+			if c.svDetail == "" {
+				c.svDetail = fmt.Sprintf("pair=%s dual-serving state=%s lease=%s at t=%d",
+					pr.ID, pr.State, pr.Repl.LeaseState(), int64(c.clock.Now()))
+			}
+		}
+	}
+}
+
 // verifyData is the fleet acked-output oracle: per pair, every SET must
 // end up acknowledged and every key must read back its value from the
 // (possibly failed-over and re-protected) server.
@@ -421,6 +468,10 @@ func (c *fleetCampaign) finish() Result {
 		Oracle: "output-commit",
 		OK:     c.ocViolations == 0,
 		Detail: fmt.Sprintf("%d samples, %d violations %s", c.ocChecks, c.ocViolations, c.ocDetail),
+	}, {
+		Oracle: "at-most-one-serving",
+		OK:     c.svViolations == 0,
+		Detail: fmt.Sprintf("%d samples, %d dual-serving instants %s", c.svChecks, c.svViolations, c.svDetail),
 	}}, c.verdicts...)
 
 	var epochs uint64

@@ -28,8 +28,8 @@ func TestFleetCampaignDemo(t *testing.T) {
 	if res.Failovers == 0 {
 		t.Fatal("campaign killed hosts but no pair failed over")
 	}
-	if len(res.Verdicts) != 5 {
-		t.Fatalf("verdicts = %d, want 5 (output-commit, convergence, acked-output, drain, determinism)", len(res.Verdicts))
+	if len(res.Verdicts) != 6 {
+		t.Fatalf("verdicts = %d, want 6 (output-commit, at-most-one-serving, convergence, acked-output, drain, determinism)", len(res.Verdicts))
 	}
 	if !strings.Contains(res.Trace, "host-dead") {
 		t.Fatalf("trace missing host-death events:\n%s", res.Trace)

@@ -9,7 +9,7 @@ import (
 // event is one scheduled transient fault.
 type event struct {
 	At   simtime.Duration // campaign-relative injection time
-	Kind string           // cut-repl | cut-ack | partition
+	Kind string           // cut-repl | cut-ack | partition | oneway-pb | oneway-bp | flap
 	For  simtime.Duration // outage length before the heal
 }
 
@@ -30,6 +30,18 @@ const (
 	cutMin     = 10 * simtime.Millisecond
 	cutReplMax = 50 * simtime.Millisecond
 	cutAckMax  = 150 * simtime.Millisecond
+)
+
+// Sustained one-way cuts and flap bursts (drawn only from explicit
+// Config.FaultKinds lists) use the opposite duration profile: long
+// enough to cross both the failure-detection threshold (90 ms) and the
+// lease duration (120 ms). These kinds exist to threaten split-brain,
+// not to be absorbed.
+const (
+	onewayMin = 250 * simtime.Millisecond
+	onewayMax = 600 * simtime.Millisecond
+	flapMin   = 120 * simtime.Millisecond
+	flapMax   = 300 * simtime.Millisecond
 )
 
 func drawSchedule(cfg Config) schedule {
@@ -57,16 +69,34 @@ func drawSchedule(cfg Config) schedule {
 	}
 	for i := 0; i < n; i++ {
 		ev := event{At: simtime.Duration(lo + rng.Int63n(hi-lo))}
-		switch rng.Intn(3) {
-		case 0:
-			ev.Kind = "cut-repl"
-			ev.For = cutMin + simtime.Duration(rng.Int63n(int64(cutReplMax-cutMin)))
-		case 1:
-			ev.Kind = "cut-ack"
-			ev.For = cutMin + simtime.Duration(rng.Int63n(int64(cutAckMax-cutMin)))
-		case 2:
-			ev.Kind = "partition"
-			ev.For = cutMin + simtime.Duration(rng.Int63n(int64(cutReplMax-cutMin)))
+		if len(cfg.FaultKinds) == 0 {
+			// Legacy trio, drawn with the exact historical random stream so
+			// pre-existing seeds reproduce byte-identical schedules.
+			switch rng.Intn(3) {
+			case 0:
+				ev.Kind = "cut-repl"
+				ev.For = cutMin + simtime.Duration(rng.Int63n(int64(cutReplMax-cutMin)))
+			case 1:
+				ev.Kind = "cut-ack"
+				ev.For = cutMin + simtime.Duration(rng.Int63n(int64(cutAckMax-cutMin)))
+			case 2:
+				ev.Kind = "partition"
+				ev.For = cutMin + simtime.Duration(rng.Int63n(int64(cutReplMax-cutMin)))
+			}
+		} else {
+			ev.Kind = cfg.FaultKinds[rng.Intn(len(cfg.FaultKinds))]
+			switch ev.Kind {
+			case "cut-repl", "partition":
+				ev.For = cutMin + simtime.Duration(rng.Int63n(int64(cutReplMax-cutMin)))
+			case "cut-ack":
+				ev.For = cutMin + simtime.Duration(rng.Int63n(int64(cutAckMax-cutMin)))
+			case "oneway-pb", "oneway-bp":
+				ev.For = onewayMin + simtime.Duration(rng.Int63n(int64(onewayMax-onewayMin)))
+			case "flap":
+				ev.For = flapMin + simtime.Duration(rng.Int63n(int64(flapMax-flapMin)))
+			default:
+				panic("chaos: unknown fault kind " + ev.Kind)
+			}
 		}
 		s.events = append(s.events, ev)
 	}

@@ -100,6 +100,13 @@ type Params struct {
 	// Workload builds each pair's application; nil installs the default
 	// page-dirtying loop.
 	Workload WorkloadFactory
+	// Lease configures per-pair output-release lease arbitration (zero
+	// value = disabled, the pre-lease fleet behavior). Every pair built
+	// or re-protected by the fleet inherits it.
+	Lease core.LeaseConfig
+	// Degrade selects each pair's degradation policy when its lease
+	// expires with the backup unreachable (StrictSafety by default).
+	Degrade core.DegradePolicy
 	// LinkParams tunes the per-host replication NIC; zero takes the
 	// paper's 10 GbE defaults.
 	ReplLatency simtime.Duration
@@ -377,6 +384,8 @@ func (f *Fleet) pairConfig(pr *Pair, keepAlive bool) core.Config {
 	}
 	cfg.KeepAlive = keepAlive
 	cfg.BackupBeat = true
+	cfg.Lease = f.Params.Lease
+	cfg.Degrade = f.Params.Degrade
 	cfg.Reattach = func(rc core.RestoredContainer, state any) {
 		pr.Workload.Reattach(rc, state)
 	}
@@ -495,7 +504,7 @@ func (f *Fleet) WireBytes() int64 {
 // than silently if two pairs ever shared an ID).
 func (f *Fleet) Summary() (*metrics.Table, error) {
 	tb := metrics.NewTable("Fleet: protected pairs",
-		"Pair", "State", "Pri", "Bak", "Epochs", "Released", "Committed", "Failovers", "Fences", "Reprotects")
+		"Pair", "State", "Pri", "Bak", "Epochs", "Released", "Committed", "Failovers", "Fences", "Reprotects", "Lease")
 	for _, pr := range f.Pairs {
 		rel, relOK := pr.Repl.ReleasedEpoch()
 		com, comOK := pr.Repl.Backup.CommittedEpoch()
@@ -510,7 +519,7 @@ func (f *Fleet) Summary() (*metrics.Table, error) {
 			f.Hosts[pr.PrimaryHost].Name, f.Hosts[pr.BackupHost].Name,
 			fmt.Sprintf("%d", pr.Repl.Epochs()), relS, comS,
 			fmt.Sprintf("%d", pr.Failovers), fmt.Sprintf("%d", pr.Fences),
-			fmt.Sprintf("%d", pr.Reprotects))
+			fmt.Sprintf("%d", pr.Reprotects), pr.Repl.LeaseState().String())
 		if err != nil {
 			return nil, err
 		}

@@ -152,10 +152,12 @@ func (f *Fleet) primaryHostDied(pr *Pair) {
 		if err := pr.Repl.Backup.RecoverError(); err != nil {
 			pr.State = Lost
 			f.eventf("pair-lost pair=%s err=%v", pr.ID, err)
-		} else if !pr.Repl.Backup.Recovered() {
+		} else if !pr.Repl.Backup.Recovered() && !pr.Repl.Backup.PromotionPending() {
 			// A halted backup cannot recover: both of the pair's hosts are
 			// gone. The fault-model boundary (DESIGN.md §9) — NiLiCon
-			// tolerates one failure per pair at a time.
+			// tolerates one failure per pair at a time. A backup holding at
+			// its lease promotion barrier is different: conviction is in,
+			// promotion follows once the last grant has provably expired.
 			pr.State = Lost
 			f.eventf("pair-lost pair=%s reason=both-hosts-dead", pr.ID)
 		}

@@ -99,6 +99,23 @@ type BackupAgent struct {
 	detector      *simtime.Ticker
 	monitoring    bool
 	recovered     bool
+
+	// Lease arbitration state (lease.go, DESIGN.md §10). lastGrantSent
+	// is stamped at every grant *send* (delivered or not — an
+	// undelivered grant only makes the primary fence sooner, so
+	// counting it is the conservative direction); promotePending marks
+	// a conviction waiting out the promotion barrier.
+	lastGrantSent  simtime.Time
+	promotePending bool
+	promoteEvent   *simtime.Event
+	// networkLive is set when the restored container's sockets go live
+	// after a promotion (the instant the replica starts serving).
+	networkLive bool
+	// Supersede beacon toward the old primary (bounded; stops on the
+	// stand-down acknowledgment).
+	beacon      *simtime.Ticker
+	beaconTicks int
+	standDown   bool
 	// halted marks an agent whose host died (fleet host-kill or fencing):
 	// it must neither receive state, acknowledge, NACK, nor recover —
 	// a dead host runs nothing.
@@ -131,6 +148,9 @@ func newBackupAgent(cl *Cluster, cfg Config, r *Replicator) *BackupAgent {
 
 func (b *BackupAgent) start() {
 	b.lastHeartbeat = b.cl.Clock.Now()
+	// Grant accounting starts at arming time: the primary armed its own
+	// initial lease in the same instant, so the barrier math covers it.
+	b.lastGrantSent = b.lastHeartbeat
 	b.monitoring = true
 	b.cl.DRBDBackup.OnBarrier = func(e uint64) { b.tryAck(e) }
 	b.detector = simtime.NewTicker(b.cl.Clock, b.cfg.HeartbeatInterval, b.checkHeartbeat)
@@ -149,6 +169,13 @@ func (b *BackupAgent) stop() {
 // NACK, or recover.
 func (b *BackupAgent) Halt() {
 	b.halted = true
+	b.promotePending = false
+	if b.promoteEvent != nil {
+		b.promoteEvent.Cancel()
+	}
+	if b.beacon != nil {
+		b.beacon.Stop()
+	}
 	b.stop()
 }
 
@@ -165,29 +192,45 @@ func (b *BackupAgent) heartbeatArrived() {
 }
 
 func (b *BackupAgent) checkHeartbeat() {
-	if !b.monitoring || b.recovered || b.halted {
+	if !b.monitoring || b.recovered || b.halted || b.promotePending {
 		return
 	}
-	if b.cfg.BackupBeat {
+	now := b.cl.Clock.Now()
+	// Until the initial synchronization commits there is nothing to
+	// recover to; the warm spare arms its detector at first commit.
+	if !b.hasCommitted {
+		b.lastHeartbeat = now
+	}
+	deadline := simtime.Duration(b.cfg.HeartbeatMisses) * b.cfg.HeartbeatInterval
+	stale := now.Sub(b.lastHeartbeat) > deadline
+	if b.cfg.BackupBeat || b.cfg.Lease.Enabled {
 		// Reverse liveness beat: an individual packet on the ack link, so
 		// the primary (and through it the fleet control plane) can tell a
-		// dead backup host from a merely idle one.
+		// dead backup host from a merely idle one. With the lease enabled
+		// the beat doubles as an implicit grant renewal — withheld the
+		// moment the primary's heartbeats go stale, so a grant is never
+		// extended to a host the conviction below is about to declare
+		// dead (an unbounded grant stream to a dead primary would push
+		// the promotion barrier out forever).
 		r := b.r
-		b.cl.AckLink.TransferExpress(16, func() { r.backupBeatSeen() })
+		grant := b.cfg.Lease.Enabled && !stale
+		if grant {
+			b.lastGrantSent = now
+		}
+		sentAt := now
+		b.cl.AckLink.TransferExpress(16, func() {
+			r.backupBeatSeen()
+			if grant {
+				r.leaseGranted(sentAt)
+			}
+		})
 	}
 	if b.resyncRequested {
 		// The NACK (or the baseline it asked for) may itself have been
 		// lost; keep asking until a baseline commits.
 		b.sendResync()
 	}
-	// Until the initial synchronization commits there is nothing to
-	// recover to; the warm spare arms its detector at first commit.
-	if !b.hasCommitted {
-		b.lastHeartbeat = b.cl.Clock.Now()
-		return
-	}
-	deadline := simtime.Duration(b.cfg.HeartbeatMisses) * b.cfg.HeartbeatInterval
-	if b.cl.Clock.Now().Sub(b.lastHeartbeat) > deadline {
+	if stale {
 		b.Recover()
 	}
 }
@@ -213,7 +256,7 @@ func (b *BackupAgent) receiveState(epoch uint64, img *criu.Image) {
 // state it supersedes.
 func (b *BackupAgent) tryAck(epoch uint64) {
 	img, ok := b.pending[epoch]
-	if !ok || b.recovered || b.halted {
+	if !ok || b.recovered || b.halted || b.promotePending {
 		return
 	}
 	if !b.cl.DRBDBackup.BarrierReceived(epoch) {
@@ -253,7 +296,18 @@ func (b *BackupAgent) tryAck(epoch uint64) {
 		return
 	}
 	r := b.r
-	b.cl.AckLink.Transfer(16, func() { r.ackReceived(epoch) })
+	// Every ack implicitly renews the primary's output-release lease,
+	// stamped with its send time (the conservative end of the term).
+	sentAt := b.cl.Clock.Now()
+	if b.cfg.Lease.Enabled {
+		b.lastGrantSent = sentAt
+	}
+	b.cl.AckLink.Transfer(16, func() {
+		if b.cfg.Lease.Enabled {
+			r.leaseGranted(sentAt)
+		}
+		r.ackReceived(epoch)
+	})
 	if baseline {
 		b.resyncRequested = false
 	}
@@ -445,11 +499,34 @@ func (b *BackupAgent) buildRestoreImage() (*criu.Image, error) {
 	return img, nil
 }
 
-// Recover performs failover: discard uncommitted state, commit what is
-// acknowledged, promote the disk, restore the container via CRIU, and
-// bring its network up (disconnect → restore → reconnect + gratuitous
-// ARP → leave repair mode), in the order §III/§IV prescribe.
+// Recover performs failover. With the lease enabled it first waits out
+// the promotion barrier: the last grant this backup sent must have
+// provably expired (plus the clock-skew margin) before the restored
+// container may touch the network — by then a still-alive primary has
+// self-fenced, so promotion can never create a second serving replica.
+// While the barrier is pending, acknowledgments and further grants are
+// suppressed; if the primary's heartbeats resume in the meantime (the
+// partition healed mid-election) the promotion aborts instead.
 func (b *BackupAgent) Recover() {
+	if b.recovered || b.halted || b.promotePending {
+		return
+	}
+	if b.cfg.Lease.Enabled {
+		if barrier := b.promotionBarrier(); b.cl.Clock.Now() < barrier {
+			b.promotePending = true
+			b.promoteEvent = b.cl.Clock.ScheduleAt(barrier, b.promoteBarrierReached)
+			return
+		}
+	}
+	b.doRecover()
+}
+
+// doRecover is the actual failover: discard uncommitted state, commit
+// what is acknowledged, promote the disk, restore the container via
+// CRIU, and bring its network up (disconnect → restore → reconnect +
+// gratuitous ARP → leave repair mode), in the order §III/§IV
+// prescribe.
+func (b *BackupAgent) doRecover() {
 	if b.recovered || b.halted {
 		return
 	}
@@ -507,6 +584,8 @@ func (b *BackupAgent) Recover() {
 		ctr.Thaw()
 		criu.FinishNetworkRestore(ctr, b.cfg.Opts.RepairRTOPatch, func() {
 			stats.NetworkLiveAt = b.cl.Clock.Now()
+			b.networkLive = true
+			b.startSupersedeBeacon()
 			rto := ctr.Stack.RTOMin
 			if !b.cfg.Opts.RepairRTOPatch {
 				rto = ctr.Stack.RTOInitial

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"nilicon/internal/simtime"
+)
+
+// Boundary tests for the output-release lease (DESIGN.md §10). These run
+// in-package so they can pin exact instants against the unexported state
+// machine: the DES makes "exactly at the term's end" a precise, stable
+// assertion rather than a sleep-and-hope.
+
+func leaseTestEnv(t *testing.T) *testEnv {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Opts = AllOpts()
+	cfg.Lease = DefaultLease()
+	cfg.BackupBeat = true
+	env := newTestEnv(t, cfg)
+	env.repl.Start()
+	return env
+}
+
+// TestLeaseFenceExactlyAtTermEnd: after the grants stop arriving, the
+// primary stays authorized through every instant strictly before the
+// last received grant's term ends, and self-fences at precisely that
+// instant — not one tick earlier (that would trade availability for
+// nothing) and not one tick later (the backup's barrier math assumes
+// the primary's copy of the lease is the earlier-expiring one).
+func TestLeaseFenceExactlyAtTermEnd(t *testing.T) {
+	env := leaseTestEnv(t)
+	env.clock.RunFor(500 * simtime.Millisecond)
+	if env.repl.LeaseState() != LeaseHeld {
+		t.Fatalf("steady state lease = %s, want held", env.repl.LeaseState())
+	}
+
+	env.cl.AckLink.SetDown(true)
+	// Let in-flight deliveries resolve so leaseExpiresAt is final.
+	env.clock.RunFor(simtime.Millisecond)
+	exp := env.repl.leaseExpiresAt
+
+	env.clock.RunUntil(exp - 1)
+	if env.repl.LeaseState() != LeaseHeld {
+		t.Fatalf("fenced at t=%d, one tick before the term end %d", int64(env.clock.Now()), int64(exp))
+	}
+	env.clock.RunUntil(exp)
+	if env.repl.LeaseState() != LeaseSelfFenced {
+		t.Fatalf("lease = %s at the term end, want fenced", env.repl.LeaseState())
+	}
+	if env.repl.SelfFences.Value() != 1 {
+		t.Fatalf("SelfFences = %d, want 1", env.repl.SelfFences.Value())
+	}
+}
+
+// TestPromotionExactlyAtSkewMargin: a fully partitioned backup convicts
+// the primary on heartbeat staleness but must hold its promotion until
+// exactly lastGrantSent + Duration + SkewMargin — and the primary must
+// already be self-fenced strictly before that instant. The ordering
+// fence-then-promote is the at-most-one-serving proof obligation.
+func TestPromotionExactlyAtSkewMargin(t *testing.T) {
+	env := leaseTestEnv(t)
+	env.clock.RunFor(500 * simtime.Millisecond)
+
+	env.cl.ReplLink.SetDown(true)
+	env.cl.AckLink.SetDown(true)
+
+	b := env.repl.Backup
+	for i := 0; i < 300 && !b.PromotionPending(); i++ {
+		env.clock.RunFor(simtime.Millisecond)
+	}
+	if !b.PromotionPending() {
+		t.Fatal("backup never convicted the partitioned primary")
+	}
+	barrier := b.promotionBarrier()
+
+	env.clock.RunUntil(barrier - 1)
+	if b.Recovered() {
+		t.Fatalf("backup promoted at t=%d, before the barrier %d", int64(env.clock.Now()), int64(barrier))
+	}
+	if !b.PromotionPending() {
+		t.Fatal("conviction evaporated while waiting out the barrier")
+	}
+	if env.repl.LeaseState() != LeaseSelfFenced {
+		t.Fatalf("primary lease = %s one tick before the barrier, want fenced (fence must precede promotion)",
+			env.repl.LeaseState())
+	}
+
+	env.clock.RunUntil(barrier)
+	if b.PromotionPending() {
+		t.Fatal("barrier instant passed but the promotion never fired")
+	}
+	env.clock.RunFor(300 * simtime.Millisecond)
+	if !b.Recovered() {
+		t.Fatal("promotion fired at the barrier but recovery did not complete")
+	}
+}
+
+// TestGrantAtLapseInstantKeepsLease: a grant landing in the same
+// simulated instant the lease lapses renews it — after that tick the
+// primary is held, nothing stays parked, and once acks flow again the
+// client is served.
+func TestGrantAtLapseInstantKeepsLease(t *testing.T) {
+	env := leaseTestEnv(t)
+	cli := newKVClient(env.cl, "10.0.0.1", "10.0.0.10")
+	env.clock.RunFor(500 * simtime.Millisecond)
+
+	env.cl.AckLink.SetDown(true)
+	env.clock.RunFor(simtime.Millisecond)
+	exp := env.repl.leaseExpiresAt
+
+	env.clock.ScheduleAt(exp, func() {
+		env.repl.leaseGranted(env.clock.Now())
+	})
+	env.clock.RunUntil(exp)
+	if env.repl.LeaseState() != LeaseHeld {
+		t.Fatalf("lease = %s after a same-instant grant, want held", env.repl.LeaseState())
+	}
+	if len(env.repl.parked) != 0 || env.repl.hasParkedDirect {
+		t.Fatalf("releases still parked after the same-instant renewal: %d + direct=%v",
+			len(env.repl.parked), env.repl.hasParkedDirect)
+	}
+
+	env.cl.AckLink.SetDown(false)
+	cli.send("SET boundary v")
+	env.clock.RunFor(300 * simtime.Millisecond)
+	if len(cli.replies) == 0 || cli.replies[len(cli.replies)-1] != "OK" {
+		t.Fatalf("client not served after renewal + heal: replies = %v", cli.replies)
+	}
+}
+
+// TestPromotionAbortsOnHeal: the partition heals after conviction but
+// before the barrier. The barrier must abort the promotion (heartbeats
+// are fresh again), the backup must keep its unrecovered role, commits
+// must resume over the epochs buffered while acks were suppressed, and
+// the primary must be re-granted its lease.
+func TestPromotionAbortsOnHeal(t *testing.T) {
+	env := leaseTestEnv(t)
+	cli := newKVClient(env.cl, "10.0.0.1", "10.0.0.10")
+	env.clock.RunFor(500 * simtime.Millisecond)
+
+	env.cl.ReplLink.SetDown(true)
+	env.cl.AckLink.SetDown(true)
+	b := env.repl.Backup
+	for i := 0; i < 300 && !b.PromotionPending(); i++ {
+		env.clock.RunFor(simtime.Millisecond)
+	}
+	if !b.PromotionPending() {
+		t.Fatal("backup never convicted the partitioned primary")
+	}
+
+	// Heal inside the conviction→barrier window.
+	env.cl.ReplLink.SetDown(false)
+	env.cl.AckLink.SetDown(false)
+	env.clock.RunUntil(b.promotionBarrier())
+	if b.Recovered() {
+		t.Fatal("backup promoted across a healed partition")
+	}
+	if b.PromotionPending() {
+		t.Fatal("aborted promotion left the conviction pending")
+	}
+
+	com0, ok := b.CommittedEpoch()
+	if !ok {
+		t.Fatal("no committed epoch after heal")
+	}
+	env.clock.RunFor(300 * simtime.Millisecond)
+	if com1, _ := b.CommittedEpoch(); com1 <= com0 {
+		t.Fatalf("commits did not resume after the aborted promotion: %d -> %d", com0, com1)
+	}
+	if env.repl.LeaseState() != LeaseHeld {
+		t.Fatalf("primary lease = %s after heal, want held", env.repl.LeaseState())
+	}
+	cli.send("SET aborted v")
+	env.clock.RunFor(200 * simtime.Millisecond)
+	if len(cli.replies) == 0 || cli.replies[len(cli.replies)-1] != "OK" {
+		t.Fatalf("client not served after aborted promotion: replies = %v", cli.replies)
+	}
+}
+
+// TestNoReleaseWhileFenced: a fenced primary keeps checkpointing but
+// releases nothing — the client-visible reply stream freezes for the
+// whole fence and resumes (no losses, no reorders) after the grant
+// returns.
+func TestNoReleaseWhileFenced(t *testing.T) {
+	env := leaseTestEnv(t)
+	cli := newKVClient(env.cl, "10.0.0.1", "10.0.0.10")
+	env.clock.RunFor(500 * simtime.Millisecond)
+
+	env.cl.AckLink.SetDown(true)
+	for i := 0; i < 300 && env.repl.LeaseState() != LeaseSelfFenced; i++ {
+		env.clock.RunFor(simtime.Millisecond)
+	}
+	if env.repl.LeaseState() != LeaseSelfFenced {
+		t.Fatal("ack outage never fenced the primary")
+	}
+	// Drain replies released before the fence.
+	env.clock.RunFor(50 * simtime.Millisecond)
+	frozen := len(cli.replies)
+
+	const writes = 5
+	for i := 0; i < writes; i++ {
+		cli.send(fmt.Sprintf("SET fenced%d v%d", i, i))
+		env.clock.RunFor(20 * simtime.Millisecond)
+	}
+	if got := len(cli.replies); got != frozen {
+		t.Fatalf("fenced primary released output: replies %d -> %d", frozen, got)
+	}
+
+	env.cl.AckLink.SetDown(false)
+	env.clock.RunFor(500 * simtime.Millisecond)
+	if got := len(cli.replies); got != frozen+writes {
+		t.Fatalf("replies after unfence = %d, want %d", len(cli.replies), frozen+writes)
+	}
+	for _, r := range cli.replies[frozen:] {
+		if r != "OK" {
+			t.Fatalf("post-fence replies corrupted: %v", cli.replies[frozen:])
+		}
+	}
+	if env.repl.LeaseState() != LeaseHeld {
+		t.Fatalf("lease = %s after heal, want held", env.repl.LeaseState())
+	}
+}
+
+// TestReleasedWatermarkMonotoneAcrossFences: the released-epoch
+// watermark never regresses through repeated fence/unfence cycles —
+// parked releases flush in epoch order, and acks that arrived during a
+// fence never rewind the watermark when replayed.
+func TestReleasedWatermarkMonotoneAcrossFences(t *testing.T) {
+	env := leaseTestEnv(t)
+	cli := newKVClient(env.cl, "10.0.0.1", "10.0.0.10")
+
+	var last uint64
+	var have bool
+	ticker := simtime.NewTicker(env.clock, simtime.Millisecond, func() {
+		rel, ok := env.repl.ReleasedEpoch()
+		if !ok {
+			return
+		}
+		if have && rel < last {
+			t.Fatalf("released watermark regressed %d -> %d at t=%d", last, rel, int64(env.clock.Now()))
+		}
+		last, have = rel, true
+	})
+	defer ticker.Stop()
+
+	env.clock.RunFor(500 * simtime.Millisecond)
+	sent := 0
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < 10; i++ {
+			cli.send(fmt.Sprintf("SET c%dk%d v", cycle, i))
+			sent++
+			env.clock.RunFor(10 * simtime.Millisecond)
+		}
+		env.cl.AckLink.SetDown(true)
+		env.clock.RunFor(300 * simtime.Millisecond) // fences at ~120ms in
+		env.cl.AckLink.SetDown(false)
+		env.clock.RunFor(200 * simtime.Millisecond)
+	}
+	if env.repl.SelfFences.Value() != 3 {
+		t.Fatalf("SelfFences = %d, want one per cycle (3)", env.repl.SelfFences.Value())
+	}
+	if env.repl.LeaseState() != LeaseHeld {
+		t.Fatalf("final lease = %s, want held", env.repl.LeaseState())
+	}
+	env.clock.RunFor(500 * simtime.Millisecond)
+	if len(cli.replies) != sent {
+		t.Fatalf("replies = %d, want %d", len(cli.replies), sent)
+	}
+	if !have {
+		t.Fatal("released watermark never observed")
+	}
+}

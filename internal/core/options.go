@@ -169,6 +169,20 @@ type Config struct {
 	// information about the backup's health.
 	BackupBeat bool
 
+	// Lease enables output-release lease arbitration (DESIGN.md §10):
+	// the backup grants the primary a time-bounded right to release
+	// buffered output, renewed implicitly by acks and backup beats;
+	// the primary self-fences on expiry before the backup may promote.
+	// Disabled by default so the paper's timing experiments (Table II
+	// detection latency in particular) are unchanged. Enabling the
+	// lease also makes the backup send beats (they carry the grants).
+	Lease LeaseConfig
+	// Degrade selects what a self-fenced primary does when the outage
+	// persists: StrictSafety (default) stays fenced; Availability
+	// declares the pair unprotected after Lease.UnprotectedAfter and
+	// resumes serving without acks.
+	Degrade DegradePolicy
+
 	// ExtraStopPerCheckpoint is the calibrated residual stop-time cost
 	// of in-kernel state the simulation does not model structurally
 	// (epoll sets, pipes, allocator arenas; see DESIGN.md §1 and the

@@ -316,13 +316,26 @@ func (run *epochRun) awaitAck() {}
 // releaseOutput flushes the epoch's buffered output. The stage graph
 // guarantees AwaitAck completed first; the commit check below makes the
 // output-commit invariant (DESIGN.md §4) fail loudly rather than
-// silently if the graph is ever miswired.
+// silently if the graph is ever miswired. A self-fenced primary parks
+// the release instead (lease.go): the ack authorized it, but the lease
+// that authorizes *releasing* lapsed — it flushes, in epoch order, when
+// a grant returns.
 func (run *epochRun) releaseOutput() {
 	r := run.r
 	if c, ok := r.Backup.CommittedEpoch(); !ok || c < run.epoch {
 		panic(fmt.Sprintf("core: output-commit violation: releasing epoch %d before backup commit", run.epoch))
 	}
-	now := r.Cluster.Clock.Now()
+	if !r.releaseAuthorized() {
+		r.parked = append(r.parked, run)
+		return
+	}
+	run.finishRelease(r.Cluster.Clock.Now())
+}
+
+// finishRelease completes the release once both gates (ack and lease)
+// allow it.
+func (run *epochRun) finishRelease(now simtime.Time) {
+	r := run.r
 	r.Ctr.Qdisc.Release(run.epoch)
 	if !r.hasReleased || run.epoch > r.released {
 		r.released = run.epoch
@@ -384,6 +397,7 @@ func (run *epochRun) record() {
 			DeltaFrames: run.frames.DeltaFrames,
 			ZeroFrames:  run.frames.ZeroFrames,
 			DedupFrames: run.frames.DedupFrames,
+			Lease:       r.leaseState.String(),
 		})
 	}
 }

@@ -107,6 +107,25 @@ type Replicator struct {
 	fenced bool
 
 	epochEvent *simtime.Event
+
+	// Lease arbitration state (lease.go, DESIGN.md §10). leaseExpiresAt
+	// is the end of the newest grant's term measured from its send
+	// time; parked holds ack-authorized pipeline releases held back by
+	// a self-fence, flushed in epoch order on re-grant.
+	leaseState      LeaseState
+	leaseExpiresAt  simtime.Time
+	leaseEvent      *simtime.Event
+	unprotEvent     *simtime.Event
+	parked          []*epochRun
+	parkedDirect    uint64
+	hasParkedDirect bool
+
+	// LeaseGauge mirrors leaseState for the metrics layer.
+	LeaseGauge metrics.Gauge
+	// SelfFences counts lease expirations that fenced this primary.
+	SelfFences metrics.Counter
+	// Unprotects counts Availability-policy unprotected declarations.
+	Unprotects metrics.Counter
 }
 
 // NewReplicator wires a replicator for the given protected container.
@@ -121,6 +140,9 @@ func NewReplicator(cl *Cluster, ctr *container.Container, cfg Config) *Replicato
 	}
 	if cfg.HeartbeatMisses <= 0 {
 		cfg.HeartbeatMisses = 3
+	}
+	if cfg.Lease.Enabled {
+		cfg.Lease.fillDefaults()
 	}
 	r := &Replicator{Cfg: cfg, Cluster: cl, Ctr: ctr, inflight: make(map[uint64]*epochRun)}
 	r.engine = criu.NewEngine(ctr, cfg.Opts.criuOptions())
@@ -154,6 +176,7 @@ func (r *Replicator) Start() {
 	r.hbTicker = simtime.NewTicker(r.Cluster.Clock, r.Cfg.HeartbeatInterval, r.heartbeat)
 	r.lastCPU = r.Ctr.Cgroup.CPUUsage()
 	r.lastBackupBeat = r.Cluster.Clock.Now()
+	r.startLease()
 	r.Backup.start()
 
 	r.epochEvent = r.Cluster.Clock.Schedule(r.Cfg.EpochInterval, r.runEpoch)
@@ -170,7 +193,10 @@ func (r *Replicator) Stop() {
 	if r.epochEvent != nil {
 		r.epochEvent.Cancel()
 	}
+	r.cancelLeaseTimers()
 	r.inflight = make(map[uint64]*epochRun)
+	r.parked = nil
+	r.hasParkedDirect = false
 	r.Backup.stop()
 	r.Ctr.Qdisc.SetReplicating(false)
 	r.engine.Close()
@@ -243,12 +269,17 @@ func (r *Replicator) ackReceived(e uint64) {
 	if len(covered) == 0 {
 		// No pipeline record (replication restarted across a failover);
 		// the backup only acknowledges committed epochs, so releasing
-		// directly preserves the output-commit rule.
-		r.Ctr.Qdisc.Release(e)
-		if !r.hasReleased || e > r.released {
-			r.released = e
-			r.hasReleased = true
+		// directly preserves the output-commit rule — unless a lapsed
+		// lease has fenced the release path, in which case the
+		// watermark parks until a grant returns.
+		if !r.releaseAuthorized() {
+			if !r.hasParkedDirect || e > r.parkedDirect {
+				r.parkedDirect = e
+				r.hasParkedDirect = true
+			}
+			return
 		}
+		r.releaseDirect(e)
 		return
 	}
 	sort.Slice(covered, func(i, j int) bool { return covered[i] < covered[j] })
@@ -393,6 +424,11 @@ func (r *Replicator) FenceBackup() {
 	_ = r.Cluster.DRBDPrimary.Detach()
 	r.Cluster.Xfer.CancelFlow(r.Ctr.ID)
 	r.Cluster.Xfer.CancelFlow(r.Ctr.ID + "/resync")
+	if r.Cfg.Lease.Enabled {
+		// Control-plane-sanctioned unprotected operation: the backup is
+		// verifiably dead, so releasing without a lease is safe.
+		r.setLeaseState(LeaseUnprotected)
+	}
 }
 
 // InflightEpochs returns the number of epochs whose pipeline has not yet

@@ -219,7 +219,12 @@ func (e *Engine) Checkpoint() (*Image, CheckpointStats) {
 
 	// --- Infrequently-modified state (§V-B) ----------------------------------
 	im := k.StartMeter()
-	useCache := e.Opts.CacheInfrequent && e.cachedInfrequent != nil && !e.tracker.Dirty()
+	// A resync baseline must be self-contained: the backup NACKed
+	// because epochs were lost, and if the outage swallowed the initial
+	// synchronization the backup has no infrequent state for a cache
+	// marker to refer to. Collect it fresh, like everything else in the
+	// baseline.
+	useCache := e.Opts.CacheInfrequent && e.cachedInfrequent != nil && !e.tracker.Dirty() && !resync
 	if useCache {
 		// One validity check per cached component.
 		for i := 0; i < 5; i++ {

@@ -60,6 +60,63 @@ func Partition(r *core.Replicator) Injection {
 	return Injection{At: r.Cluster.Clock.Now(), Kind: "partition"}
 }
 
+// CutPrimaryToBackup is a sustained one-way partition in the
+// primary→backup direction: checkpoint state, DRBD writes and
+// heartbeats are lost, while the backup's acks, beats and lease grants
+// still reach the primary. Physically this downs the same link as
+// CutRepl; it exists as a distinct kind because its *duration profile*
+// in chaos schedules is the dangerous one — long enough for the
+// backup's detector to convict a primary that is still serving
+// clients, the asymmetric scenario lease arbitration exists for.
+func CutPrimaryToBackup(r *core.Replicator) Injection {
+	r.Cluster.ReplLink.SetDown(true)
+	return Injection{At: r.Cluster.Clock.Now(), Kind: "oneway-pb"}
+}
+
+// CutBackupToPrimary is the reverse one-way partition: the backup
+// hears everything (so it never convicts the primary) but its acks,
+// beats and lease grants are lost. The primary's lease expires with
+// the backup perfectly healthy — the scenario that separates the
+// StrictSafety and Availability degradation policies.
+func CutBackupToPrimary(r *core.Replicator) Injection {
+	r.Cluster.AckLink.SetDown(true)
+	return Injection{At: r.Cluster.Clock.Now(), Kind: "oneway-bp"}
+}
+
+// FlapLinks schedules a seeded burst of link flaps over the next
+// `total` of virtual time: both inter-host links toggle down and up at
+// random points, independently drawn per link, always ending healed.
+// The flap count and instants are a pure function of the seed. Returns
+// the injection stamp for the start of the burst.
+func FlapLinks(r *core.Replicator, seed int64, total simtime.Duration) Injection {
+	rng := simtime.NewRand(seed)
+	cl := r.Cluster
+	for _, link := range []interface{ SetDown(bool) }{cl.ReplLink, cl.AckLink} {
+		link := link
+		flaps := 2 + rng.Intn(3)
+		var at []int64
+		// 2·flaps ordered toggle instants within the window: odd count
+		// would end with a link down.
+		for i := 0; i < 2*flaps; i++ {
+			at = append(at, rng.Int63n(int64(total)))
+		}
+		sortInt64(at)
+		for i, t := range at {
+			down := i%2 == 0
+			cl.Clock.Schedule(simtime.Duration(t), func() { link.SetDown(down) })
+		}
+	}
+	return Injection{At: cl.Clock.Now(), Kind: "flap"}
+}
+
+func sortInt64(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
 // Heal restores both inter-host links.
 func Heal(r *core.Replicator) Injection {
 	r.Cluster.ReplLink.SetDown(false)

@@ -78,6 +78,45 @@ func TestScheduleInjectsWithinMiddle80Percent(t *testing.T) {
 	}
 }
 
+func TestOneWayCutsAreAsymmetric(t *testing.T) {
+	clock, repl := newReplicator()
+	repl.Start()
+	clock.RunFor(200 * simtime.Millisecond)
+	inj := CutPrimaryToBackup(repl)
+	if inj.Kind != "oneway-pb" {
+		t.Fatalf("kind = %q", inj.Kind)
+	}
+	if !repl.Cluster.ReplLink.Down() || repl.Cluster.AckLink.Down() {
+		t.Fatal("oneway-pb must down only the repl link")
+	}
+	Heal(repl)
+	inj = CutBackupToPrimary(repl)
+	if inj.Kind != "oneway-bp" {
+		t.Fatalf("kind = %q", inj.Kind)
+	}
+	if repl.Cluster.ReplLink.Down() || !repl.Cluster.AckLink.Down() {
+		t.Fatal("oneway-bp must down only the ack link")
+	}
+	if repl.Ctr.Stopped() || !repl.Ctr.Port.Enabled() {
+		t.Fatal("one-way cuts must not touch the container")
+	}
+}
+
+func TestFlapLinksEndsHealed(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		clock, repl := newReplicator()
+		repl.Start()
+		inj := FlapLinks(repl, seed, 300*simtime.Millisecond)
+		if inj.Kind != "flap" {
+			t.Fatalf("kind = %q", inj.Kind)
+		}
+		clock.RunFor(400 * simtime.Millisecond)
+		if repl.Cluster.ReplLink.Down() || repl.Cluster.AckLink.Down() {
+			t.Fatalf("seed %d: flap burst left a link down", seed)
+		}
+	}
+}
+
 func TestScheduleDeterministicPerSeed(t *testing.T) {
 	mk := func(seed int64) simtime.Time {
 		_, repl := newReplicator()

@@ -29,7 +29,8 @@ func ChaosOptSets() []core.LadderStep {
 }
 
 // RunChaosSweep runs `seeds` chaos campaigns (seeds base..base+seeds-1)
-// against every option set in the matrix plus every fleet scenario
+// against every option set in the matrix, the asymmetric-fault and
+// scripted split-brain lease campaigns, plus every fleet scenario
 // (host-granularity fault schedules, FleetScenarios), on the harness's
 // worker pool (Jobs). Every campaign is executed twice so the
 // determinism oracle (same seed ⇒ byte-identical trace) is always
@@ -53,13 +54,35 @@ func RunChaosSweepParallel(seeds int, base int64, duration simtime.Duration, job
 		name  string
 		seed  int64
 		opts  core.OptSet
-		fleet *FleetScenario // nil: single-pair campaign
+		kinds []string                // non-nil: restrict transient-fault kinds
+		sb    *chaos.SplitBrainConfig // non-nil: scripted split-brain scenario
+		fleet *FleetScenario          // nil: single-pair campaign
 	}
 	var campaigns []campaign
 	for _, step := range steps {
 		for s := int64(0); s < int64(seeds); s++ {
 			campaigns = append(campaigns, campaign{name: step.Name, seed: base + s, opts: step.Opts})
 		}
+	}
+	// Asymmetric-fault campaigns: schedules drawn only from the sustained
+	// one-way cuts and seeded link flapping — the geometries the lease
+	// protocol arbitrates (PR 5); randomized complement to the scripted
+	// split-brain scenarios below.
+	for s := int64(0); s < int64(seeds); s++ {
+		campaigns = append(campaigns, campaign{name: "asym", seed: base + s, opts: core.AllOpts(),
+			kinds: []string{"oneway-pb", "oneway-bp", "flap"}})
+	}
+	// Scripted split-brain scenarios: the partition that heals
+	// mid-election under StrictSafety, and the prolonged ack outage under
+	// the Availability policy (unprotect → serve without acks →
+	// re-protect on heal).
+	for s := int64(0); s < int64(seeds); s++ {
+		campaigns = append(campaigns, campaign{name: "splitbrain-partition", seed: base + s,
+			sb: &chaos.SplitBrainConfig{Scenario: chaos.ScenarioPartitionHeal, Degrade: core.StrictSafety}})
+	}
+	for s := int64(0); s < int64(seeds); s++ {
+		campaigns = append(campaigns, campaign{name: "splitbrain-ackout", seed: base + s,
+			sb: &chaos.SplitBrainConfig{Scenario: chaos.ScenarioAckOutage, Degrade: core.Availability}})
 	}
 	for _, sc := range FleetScenarios() {
 		sc := sc
@@ -101,8 +124,15 @@ func RunChaosSweepParallel(seeds int, base int64, duration simtime.Duration, job
 				results[i] = RunFleetCampaign(*cmp.fleet, cmp.seed, duration)
 				return
 			}
+			if cmp.sb != nil {
+				sb := *cmp.sb
+				sb.Seed = cmp.seed
+				results[i] = chaos.VerifySplitBrainSeed(sb)
+				return
+			}
 			results[i] = chaos.VerifySeed(chaos.Config{
 				Seed: cmp.seed, Opts: cmp.opts, OptName: cmp.name, Duration: duration,
+				FaultKinds: cmp.kinds,
 			})
 		},
 		func(i int) {

@@ -293,3 +293,50 @@ func TestTableKeyedRowCollision(t *testing.T) {
 		t.Fatal("HasKey bookkeeping wrong")
 	}
 }
+
+// TestGaugeSetAndValue: unlike Counter, a Gauge may move backwards (a
+// lease state machine steps held → fenced → held); the zero value
+// reads 0 (LeaseDisabled).
+func TestGaugeSetAndValue(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero Gauge = %d, want 0", g.Value())
+	}
+	g.Set(2)
+	g.Set(1)
+	if g.Value() != 1 {
+		t.Fatalf("Gauge after backwards Set = %d, want 1", g.Value())
+	}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("Gauge = %d, want -3", g.Value())
+	}
+}
+
+// TestTableLeaseColumnKeyedCollision mirrors TestTableKeyedRowCollision
+// for the fleet summary's Lease column: per-pair lease states report
+// under the pair's key, and a second report for the same pair (two
+// replicator generations racing a summary) must fail loudly rather than
+// render two contradictory lease rows.
+func TestTableLeaseColumnKeyedCollision(t *testing.T) {
+	tb := NewTable("fleet", "Pair", "State", "Lease")
+	if err := tb.AddKeyedRow("p00", "p00", "protected", "held"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddKeyedRow("p01", "p01", "degraded", "unprotected"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddKeyedRow("p00", "p00", "protected", "superseded"); err == nil {
+		t.Fatal("second lease row for p00 accepted")
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", tb.NumRows())
+	}
+	out := tb.String()
+	if !strings.Contains(out, "held") || !strings.Contains(out, "unprotected") {
+		t.Fatalf("lease cells missing:\n%s", out)
+	}
+	if strings.Contains(out, "superseded") {
+		t.Fatalf("colliding lease row rendered:\n%s", out)
+	}
+}

@@ -51,6 +51,11 @@ type EpochRecord struct {
 	DeltaFrames int
 	ZeroFrames  int
 	DedupFrames int
+
+	// Lease is the primary's lease state when the epoch's output was
+	// released ("off" when lease arbitration is disabled). An epoch
+	// released out of a fence records the state at flush time.
+	Lease string
 }
 
 // Timeline accumulates epoch records.
@@ -95,11 +100,15 @@ func (tl *Timeline) RecordsFor(pair string) []EpochRecord {
 // WriteCSV emits the series with a header row. Durations are in
 // microseconds, the timestamp in milliseconds.
 func (tl *Timeline) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages,transfer_us,ack_us,commit_us,inflight,wire_bytes,full_frames,delta_frames,zero_frames,dedup_frames,pair"); err != nil {
+	if _, err := fmt.Fprintln(w, "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages,transfer_us,ack_us,commit_us,inflight,wire_bytes,full_frames,delta_frames,zero_frames,dedup_frames,lease,pair"); err != nil {
 		return err
 	}
 	for _, r := range tl.records {
-		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
+		lease := r.Lease
+		if lease == "" {
+			lease = "off"
+		}
+		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s\n",
 			r.Epoch,
 			float64(r.At)/1e6,
 			r.Stop.Microseconds(),
@@ -117,6 +126,7 @@ func (tl *Timeline) WriteCSV(w io.Writer) error {
 			r.DeltaFrames,
 			r.ZeroFrames,
 			r.DedupFrames,
+			lease,
 			r.Pair)
 		if err != nil {
 			return err

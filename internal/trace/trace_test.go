@@ -18,6 +18,7 @@ func TestTimelineCSV(t *testing.T) {
 		Transfer: 900 * simtime.Microsecond, AckWait: 60 * simtime.Microsecond,
 		Commit: 6 * simtime.Millisecond, Inflight: 2,
 		WireBytes: 2048, FullFrames: 1, DeltaFrames: 200, ZeroFrames: 30, DedupFrames: 19,
+		Lease: "held",
 	})
 	tl.Record(EpochRecord{Pair: "p01", Epoch: 2, At: simtime.Time(128 * simtime.Millisecond)})
 	var b strings.Builder
@@ -32,8 +33,12 @@ func TestTimelineCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "epoch,at_ms,stop_us") {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[1] != "1,64.000,5000,100,300,200,1048576,250,900,60,6000,2,2048,1,200,30,19,p00" {
+	if lines[1] != "1,64.000,5000,100,300,200,1048576,250,900,60,6000,2,2048,1,200,30,19,held,p00" {
 		t.Fatalf("row = %q", lines[1])
+	}
+	// A record without a lease tag (pre-lease producer) reads "off".
+	if !strings.HasSuffix(lines[2], ",off,p01") {
+		t.Fatalf("row = %q", lines[2])
 	}
 	if tl.Len() != 2 {
 		t.Fatalf("Len = %d", tl.Len())
