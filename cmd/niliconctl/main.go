@@ -23,6 +23,9 @@
 //	               (+ -spares), -kills concurrent host failures, all
 //	               oracles verified (-smoke for the reduced CI shape)
 //	fleetbench     BENCH_4.json: fleet scaling sweep, as JSON on stdout
+//	bench5         BENCH_5.json: simulation-engine event throughput,
+//	               serial clock vs sharded event wheels, as JSON on
+//	               stdout
 //	scale-threads  Streamcluster 1..32 threads
 //	scale-clients  Lighttpd 2..128 clients
 //	scale-procs    Lighttpd 1..8 processes
@@ -81,11 +84,12 @@ var (
 	kills    = fs.Int("kills", 2, "fleet: concurrent host failures to inject")
 	smoke    = fs.Bool("smoke", false, "fleet: reduced CI shape (4 pairs, 4 hosts, 1 kill, short window)")
 	degrade  = fs.String("degrade", "strict", "chaos/fleet: lease degradation policy (strict|availability)")
+	shards   = fs.Int("shards", 0, "chaos/fleet: simulation engine (0 = serial clock; N>=1 = sharded event wheels with N lanes, trace-identical for any N)")
 )
 
 func main() {
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|bench|chaos|fleet|fleetbench|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
+		fmt.Fprintf(os.Stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|bench|chaos|fleet|fleetbench|bench5|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
 		fs.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -158,6 +162,8 @@ func runCommand(name string) error {
 		return runFleet()
 	case "fleetbench":
 		return runFleetBench()
+	case "bench5":
+		return runBench5()
 	case "scale-threads":
 		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunScaleThreads(nil, rc); return tb })
 	case "scale-clients":
@@ -211,7 +217,7 @@ func runChaos() error {
 		return err
 	}
 	if *sweep {
-		results, tb := harness.RunChaosSweep(*seeds, *seed, simtime.Duration(*chaosDur))
+		results, tb := harness.RunChaosSweepSharded(*seeds, *seed, simtime.Duration(*chaosDur), harness.Jobs, *shards)
 		fmt.Println(tb)
 		failed := 0
 		for _, res := range results {
@@ -238,6 +244,7 @@ func runChaos() error {
 		Seed: *seed, Opts: *opts, OptName: *optsName,
 		Duration: simtime.Duration(*chaosDur),
 		Degrade:  pol,
+		Shards:   *shards,
 	})
 	fmt.Print(res.Trace)
 	if !res.Passed {
@@ -260,6 +267,7 @@ func runFleet() error {
 		Spares:  *spares,
 		Kills:   *kills,
 		Degrade: pol,
+		Shards:  *shards,
 	}
 	if d := simtime.Duration(*chaosDur); d > 0 {
 		cfg.Duration = d
@@ -288,6 +296,17 @@ func runFleet() error {
 func runFleetBench() error {
 	rep := harness.RunBench4(*seed)
 	fmt.Fprintln(os.Stderr, harness.Bench4Table(rep))
+	out, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}
+
+func runBench5() error {
+	rep := harness.RunBench5(*seed)
+	fmt.Fprintln(os.Stderr, harness.Bench5Table(rep))
 	out, err := rep.JSON()
 	if err != nil {
 		return err

@@ -28,6 +28,7 @@ import (
 	"nilicon/internal/core"
 	"nilicon/internal/faultinject"
 	"nilicon/internal/simtime"
+	"nilicon/internal/trace"
 )
 
 // Terminal phases.
@@ -67,6 +68,12 @@ type Config struct {
 	// sustained one-way cuts ("oneway-pb", "oneway-bp") and seeded link
 	// flapping ("flap").
 	FaultKinds []string
+	// Shards selects the simulation engine: 0 runs the legacy serial
+	// clock; N >= 1 runs the sharded engine with N physical lanes (one
+	// shard per simulated host regardless of N). Any N >= 1 produces an
+	// identical trace for a given seed — the shard-parity oracle checks
+	// exactly that.
+	Shards int
 }
 
 // Verdict is one oracle's outcome.
@@ -86,6 +93,10 @@ type Result struct {
 	// Trace is the canonical event trace; byte-identical across runs of
 	// the same (seed, options).
 	Trace string
+	// TimelineCSV is the per-epoch trace.Timeline rendered as CSV —
+	// the second artifact the shard-parity oracle compares byte for
+	// byte between engine configurations.
+	TimelineCSV string
 
 	// Campaign counters.
 	Epochs      uint64
@@ -117,6 +128,7 @@ type campaign struct {
 
 	sched    schedule
 	trace    strings.Builder
+	timeline *trace.Timeline
 	verdicts []Verdict
 
 	keysSent    int
@@ -176,10 +188,17 @@ func VerifySeed(cfg Config) Result {
 }
 
 func (c *campaign) build() {
-	c.clock = simtime.NewClock()
-	c.cl = core.NewCluster(c.clock, core.ClusterParams{})
+	if c.cfg.Shards > 0 {
+		sc := simtime.NewShardedClock(c.cfg.Shards)
+		c.clock = sc.Root()
+		c.cl = core.NewShardedCluster(sc, core.ClusterParams{})
+	} else {
+		c.clock = simtime.NewClock()
+		c.cl = core.NewCluster(c.clock, core.ClusterParams{})
+	}
 	c.ctr = c.cl.NewProtectedContainer("chaos", "10.0.0.10", 1)
 	c.app = newKVApp(c.ctr)
+	c.timeline = &trace.Timeline{}
 
 	cfg := core.DefaultConfig()
 	cfg.Opts = c.cfg.Opts
@@ -202,6 +221,7 @@ func (c *campaign) build() {
 		c.eventf("recovered epoch=%d detect=%d", stats.CommittedEpoch, int64(stats.DetectedAt))
 	}
 	c.repl = core.NewReplicator(c.cl, c.ctr, cfg)
+	c.repl.Timeline = c.timeline
 }
 
 func (c *campaign) eventf(format string, args ...any) {
@@ -451,6 +471,7 @@ func (c *campaign) reprotectCycle() {
 	}
 	c.cl = repl2.Cluster
 	c.repl = repl2
+	repl2.Timeline = c.timeline
 	repl2.Start()
 	c.eventf("reprotected")
 	c.clock.RunFor(600 * simtime.Millisecond)
@@ -590,5 +611,9 @@ func (c *campaign) finish() Result {
 	fmt.Fprintf(&c.trace, "counters epochs=%d resyncs=%d linkdrops=%d sent=%d acked=%d failovers=%d\n",
 		res.Epochs, res.Resyncs, res.LinkDrops, res.SentWrites, res.AckedWrites, res.Failovers)
 	res.Trace = c.trace.String()
+	var csv strings.Builder
+	if err := c.timeline.WriteCSV(&csv); err == nil {
+		res.TimelineCSV = csv.String()
+	}
 	return res
 }

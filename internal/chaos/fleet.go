@@ -47,6 +47,11 @@ type FleetConfig struct {
 	// degradation policy.
 	PreLease bool
 	Degrade  core.DegradePolicy
+	// Shards selects the simulation engine: 0 runs the legacy serial
+	// clock; N >= 1 runs the sharded engine with N lanes (one shard per
+	// host plus the control-plane root shard, folded onto N lanes). Any
+	// N >= 1 produces an identical trace.
+	Shards int
 }
 
 func (cfg *FleetConfig) defaults() {
@@ -181,12 +186,11 @@ func (c *fleetCampaign) drawKills() {
 }
 
 func (c *fleetCampaign) build() {
-	c.clock = simtime.NewClock()
 	var lease core.LeaseConfig
 	if !c.cfg.PreLease {
 		lease = core.DefaultLease()
 	}
-	f, err := cluster.New(c.clock, cluster.Params{
+	params := cluster.Params{
 		Workers: c.cfg.Workers,
 		Spares:  c.cfg.Spares,
 		Pairs:   c.cfg.Pairs,
@@ -199,7 +203,17 @@ func (c *fleetCampaign) build() {
 		// degraded for most of the campaign.
 		MaxConcurrentResyncs: 2,
 		Workload:             func(string) cluster.Workload { return &kvWorkload{} },
-	})
+	}
+	var f *cluster.Fleet
+	var err error
+	if c.cfg.Shards > 0 {
+		sc := simtime.NewShardedClock(c.cfg.Shards)
+		c.clock = sc.Root()
+		f, err = cluster.NewSharded(sc, params)
+	} else {
+		c.clock = simtime.NewClock()
+		f, err = cluster.New(c.clock, params)
+	}
 	if err != nil {
 		panic("chaos: fleet build failed: " + err.Error())
 	}
@@ -513,6 +527,9 @@ func (c *fleetCampaign) finish() Result {
 	fmt.Fprintf(&c.trace, "counters epochs=%d drops=%d sent=%d acked=%d failovers=%d wire=%d\n",
 		res.Epochs, res.LinkDrops, res.SentWrites, res.AckedWrites, res.Failovers, c.fleet.WireBytes())
 	res.Trace = c.trace.String()
+	var csv strings.Builder
+	c.fleet.Timeline.WriteCSV(&csv)
+	res.TimelineCSV = csv.String()
 	return res
 }
 

@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"testing"
+
+	"nilicon/internal/core"
+	"nilicon/internal/simtime"
+)
+
+// The sharded engine's central guarantee (DESIGN.md §11): for a fixed
+// seed, the lane count is a pure performance knob — shards=1 and
+// shards=N must produce byte-identical event traces AND byte-identical
+// epoch timelines. These tables run the real campaign entry points (the
+// scripted split-brain partition-heal, the randomized single-pair
+// schedules, and the fleet host-kill campaign) across lane counts and
+// diff the bytes.
+
+var parityLanes = []int{1, 2, 4}
+
+// assertParity runs fn at every lane count and asserts the results are
+// byte-identical to the lanes=1 reference (and that every run passes
+// its own oracles — parity between two broken runs proves nothing).
+func assertParity(t *testing.T, name string, fn func(shards int) Result) {
+	t.Helper()
+	var ref Result
+	for i, shards := range parityLanes {
+		res := fn(shards)
+		if !res.Passed {
+			t.Fatalf("%s shards=%d: campaign failed its oracles:\n%s", name, shards, res.Trace)
+		}
+		if i == 0 {
+			ref = res
+			if ref.Trace == "" {
+				t.Fatalf("%s: empty reference trace", name)
+			}
+			continue
+		}
+		if res.Trace != ref.Trace {
+			t.Errorf("%s shards=%d: trace diverged from shards=%d (%d vs %d bytes)",
+				name, shards, parityLanes[0], len(res.Trace), len(ref.Trace))
+		}
+		if res.TimelineCSV != ref.TimelineCSV {
+			t.Errorf("%s shards=%d: epoch timeline diverged from shards=%d (%d vs %d bytes)",
+				name, shards, parityLanes[0], len(res.TimelineCSV), len(ref.TimelineCSV))
+		}
+	}
+}
+
+func TestShardParitySplitBrain(t *testing.T) {
+	cases := []struct {
+		scenario string
+		degrade  core.DegradePolicy
+		seeds    []int64
+	}{
+		{ScenarioPartitionHeal, core.StrictSafety, []int64{1, 2, 3}},
+		{ScenarioPartitionHeal, core.Availability, []int64{1, 2}},
+		{ScenarioAckOutage, core.StrictSafety, []int64{1}},
+		{ScenarioAckOutage, core.Availability, []int64{1}},
+	}
+	for _, tc := range cases {
+		for _, seed := range tc.seeds {
+			name := tc.scenario + "/" + tc.degrade.String()
+			assertParity(t, name, func(shards int) Result {
+				return RunSplitBrain(SplitBrainConfig{
+					Seed: seed, Scenario: tc.scenario, Degrade: tc.degrade, Shards: shards,
+				})
+			})
+		}
+	}
+}
+
+func TestShardParityRandomizedSchedules(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		for _, terminal := range []string{TerminalKill, TerminalNone} {
+			assertParity(t, "randomized/"+terminal, func(shards int) Result {
+				return Run(Config{
+					Seed:     seed,
+					Opts:     core.AllOpts(),
+					OptName:  "all",
+					Terminal: terminal,
+					Duration: 900 * simtime.Millisecond,
+					Shards:   shards,
+				})
+			})
+		}
+	}
+}
+
+func TestShardParityFleetHostKill(t *testing.T) {
+	for _, seed := range []int64{1, 2, 5} {
+		assertParity(t, "fleet/host-kill", func(shards int) Result {
+			return RunFleet(FleetConfig{
+				Seed:     seed,
+				Opts:     core.AllOpts(),
+				OptName:  "all",
+				Duration: 500 * simtime.Millisecond,
+				Shards:   shards,
+			})
+		})
+	}
+}

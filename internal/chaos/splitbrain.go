@@ -49,6 +49,8 @@ type SplitBrainConfig struct {
 	// PreLease disables the lease, reproducing the pre-lease detector
 	// (the regression configuration; expected to fail partition-heal).
 	PreLease bool
+	// Shards selects the simulation engine (see Config.Shards).
+	Shards int
 }
 
 // Scripted scenario geometry. The partition must outlive the promotion
@@ -74,6 +76,7 @@ func RunSplitBrain(sb SplitBrainConfig) Result {
 		Terminal: TerminalNone,
 		PreLease: sb.PreLease,
 		Degrade:  sb.Degrade,
+		Shards:   sb.Shards,
 	}
 	c := &campaign{cfg: cfg}
 	switch sb.Scenario {

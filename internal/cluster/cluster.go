@@ -287,6 +287,21 @@ func PlacePairs(n, workers, coresPerHost, pagesPerHost int) ([]Placement, error)
 // New builds the fleet: hosts, NICs, placements, per-pair volumes, DRBD
 // pairs, workloads, and replicators. Nothing runs until Start.
 func New(clock *simtime.Clock, params Params) (*Fleet, error) {
+	return build(clock, func(int) *simtime.Clock { return clock }, params)
+}
+
+// NewSharded builds the same fleet on a sharded engine: the switch and
+// the control plane (detector, re-protection pump) run on the root
+// shard, and every host gets its own shard in pool-index order so shard
+// assignment is topology-deterministic. Because a host's NIC fans out to
+// whichever hosts back its pairs, the fleet runs the engine's ladder
+// mode: cross-shard schedules are legal and the (when, shard, seq) key
+// keeps the trace independent of the lane count.
+func NewSharded(sc *simtime.ShardedClock, params Params) (*Fleet, error) {
+	return build(sc.Root(), func(int) *simtime.Clock { return sc.NewShard() }, params)
+}
+
+func build(clock *simtime.Clock, hostClock func(i int) *simtime.Clock, params Params) (*Fleet, error) {
 	params.defaults()
 	f := &Fleet{
 		Params:   params,
@@ -297,15 +312,16 @@ func New(clock *simtime.Clock, params Params) (*Fleet, error) {
 	total := params.Workers + params.Spares
 	for i := 0; i < total; i++ {
 		name := fmt.Sprintf("host%02d", i)
+		hc := hostClock(i)
 		h := &Host{
 			Index: i,
 			Name:  name,
-			H:     container.NewHost(name, clock, f.Switch),
-			NIC:   simnet.NewLink(clock, params.ReplLatency, params.ReplBW),
+			H:     container.NewHost(name, hc, f.Switch),
+			NIC:   simnet.NewLink(hc, params.ReplLatency, params.ReplBW),
 			Spare: i >= params.Workers,
 			Alive: true,
 		}
-		h.Xfer = core.NewTransferScheduler(clock, h.NIC)
+		h.Xfer = core.NewTransferScheduler(hc, h.NIC)
 		f.Hosts = append(f.Hosts, h)
 	}
 
@@ -335,7 +351,7 @@ func (f *Fleet) buildPair(pl Placement) (*Pair, error) {
 	vol := simdisk.NewDisk(id + "-vol")
 	bvol := vol.Clone(id + "-backup")
 	view := &core.Cluster{
-		Clock:    f.Clock,
+		Clock:    ph.H.Clock,
 		Switch:   f.Switch,
 		Primary:  ph.H,
 		Backup:   bh.H,

@@ -108,7 +108,7 @@ func (f *Fleet) startReprotect(pr *Pair, target int) {
 	cur := f.Hosts[pr.PrimaryHost]
 	tgt := f.Hosts[target]
 	view := &core.Cluster{
-		Clock:    f.Clock,
+		Clock:    cur.H.Clock,
 		Switch:   f.Switch,
 		Primary:  cur.H,
 		Backup:   tgt.H,

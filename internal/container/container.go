@@ -67,6 +67,9 @@ type Task struct {
 	blocked bool
 	stopped bool
 	pending *simtime.Event
+	// wake is the reusable run callback: tasks reschedule on every step,
+	// so allocating a fresh closure per wake is pure event-loop garbage.
+	wake func()
 	// readyAt is the earliest time the task may run again: a step that
 	// consumed CPU occupies its thread for that long even if it then
 	// blocks (a Wake cannot bypass the busy time).
@@ -148,7 +151,7 @@ func Create(h *Host, spec Spec) *Container {
 	c.FS = simfs.New(h.Clock, store)
 	c.FS.Kernel = h.Kernel
 
-	c.Port = h.Switch.Attach(spec.ID + "-veth")
+	c.Port = h.Switch.AttachOn(spec.ID+"-veth", h.Clock)
 	c.Stack = simnet.NewStack(h.Clock, spec.IP, nil)
 	c.Stack.Kernel = h.Kernel
 	c.Qdisc = simnet.NewPlugQdisc(c.Port.Send, c.Stack.Receive)
@@ -176,13 +179,14 @@ func (c *Container) AddProcess(name string, libs int) *simkernel.Process {
 // it immediately.
 func (c *Container) AddTask(th *simkernel.Thread, step StepFunc) *Task {
 	t := &Task{Thread: th, Step: step, ctr: c}
+	t.wake = func() { c.runTask(t) }
 	c.Tasks = append(c.Tasks, t)
 	c.scheduleTask(t, 0)
 	return t
 }
 
 func (c *Container) scheduleTask(t *Task, d simtime.Duration) {
-	t.pending = c.Host.Clock.Schedule(d, func() { c.runTask(t) })
+	t.pending = c.Host.Clock.Schedule(d, t.wake)
 }
 
 func (c *Container) runTask(t *Task) {

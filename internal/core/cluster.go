@@ -64,17 +64,35 @@ func (p *ClusterParams) defaults() {
 // NewCluster builds the two-host topology plus the replication links
 // and the DRBD pair over the hosts' disks.
 func NewCluster(clock *simtime.Clock, params ClusterParams) *Cluster {
+	return newCluster(clock, clock, clock, params)
+}
+
+// NewShardedCluster builds the same topology on a sharded engine: the
+// primary and backup hosts each get their own shard, the switch and
+// campaign drivers run on the root shard, and the replication/ack links
+// deliver on the receiving host's shard — they are the cross-shard
+// edges whose latency bounds the engine's conservative lookahead.
+func NewShardedCluster(sc *simtime.ShardedClock, params ClusterParams) *Cluster {
+	return newCluster(sc.Root(), sc.NewShard(), sc.NewShard(), params)
+}
+
+func newCluster(root, pclk, bclk *simtime.Clock, params ClusterParams) *Cluster {
 	params.defaults()
-	sw := simnet.NewSwitch(clock, params.LANLatency, params.ARPDelay)
+	sw := simnet.NewSwitch(root, params.LANLatency, params.ARPDelay)
 	cl := &Cluster{
-		Clock:    clock,
+		Clock:    pclk,
 		Switch:   sw,
-		Primary:  container.NewHost("primary", clock, sw),
-		Backup:   container.NewHost("backup", clock, sw),
-		ReplLink: simnet.NewLink(clock, params.ReplLatency, params.ReplBW),
-		AckLink:  simnet.NewLink(clock, params.ReplLatency, params.ReplBW),
+		Primary:  container.NewHost("primary", pclk, sw),
+		Backup:   container.NewHost("backup", bclk, sw),
+		ReplLink: simnet.NewLink(pclk, params.ReplLatency, params.ReplBW),
+		AckLink:  simnet.NewLink(bclk, params.ReplLatency, params.ReplBW),
 	}
-	cl.Xfer = NewTransferScheduler(clock, cl.ReplLink)
+	if pclk != bclk {
+		// Checkpoint state flows primary→backup; acks flow back.
+		cl.ReplLink.BindRemote(bclk)
+		cl.AckLink.BindRemote(pclk)
+	}
+	cl.Xfer = NewTransferScheduler(pclk, cl.ReplLink)
 	cl.DRBDPrimary, cl.DRBDBackup = simdisk.NewDRBDPair(cl.Primary.Disk, cl.Backup.Disk, cl.ReplLink)
 	return cl
 }

@@ -1,0 +1,285 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"nilicon/internal/cluster"
+	"nilicon/internal/container"
+	"nilicon/internal/metrics"
+	"nilicon/internal/simkernel"
+	"nilicon/internal/simtime"
+)
+
+// BENCH_5 measures raw simulation-event throughput of the two engines on
+// the same fleet workload: the legacy serial clock (a single binary
+// heap) against the sharded per-host event wheels at several lane
+// counts. The fleet is steady-state replicating — every pair runs full
+// epochs (freeze, copy, transfer, ack, release) — but its pairs run an
+// event-dense, byte-light workload (fine-grained wakes, one dirty page
+// per handful of steps, the profile of a latency-sensitive interactive
+// service) so the pending-event population stays deep and engine cost,
+// not page copying, dominates the run. Virtual work is identical across
+// rows (same seed, same shape, same virtual duration); only the engine
+// differs, so events/sec isolates scheduler cost.
+
+// Bench5Row is one engine configuration of the BENCH_5 throughput sweep.
+type Bench5Row struct {
+	Engine string `json:"engine"` // "serial" or "sharded"
+	// Lanes is the sharded engine's lane count (0 for the serial row).
+	Lanes  int `json:"lanes"`
+	Hosts  int `json:"hosts"`
+	Pairs  int `json:"pairs"`
+	Shards int `json:"shards"` // logical shards (hosts + root; 0 for serial)
+	// Events is the number of simulation events executed.
+	Events uint64 `json:"events"`
+	// WallMs is the real time the run took; EventsPerSec = Events/Wall.
+	WallMs       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is EventsPerSec over the serial row's (1.0 for serial).
+	Speedup float64 `json:"speedup"`
+}
+
+// Bench5Report is the committed BENCH_5.json document.
+type Bench5Report struct {
+	Benchmark string      `json:"benchmark"`
+	Seed      int64       `json:"seed"`
+	VirtualMs int64       `json:"virtual_ms"`
+	Rows      []Bench5Row `json:"rows"`
+}
+
+// The fleet the engines race on: 10 hosts, 32 pairs (4 primaries + 4
+// backups per worker), each pair's workload waking every 100µs while
+// holding a bank of parked connection timers.
+const (
+	bench5Workers = 8
+	bench5Spares  = 2
+	bench5Pairs   = 32
+	bench5Virtual = 2 * simtime.Second
+	// bench5ParkedTimers is the per-pair bank of idle-connection timers
+	// (keepalives, request deadlines) a real service holds: ~1s periods,
+	// staggered, nearly always pending and rarely firing. They put the
+	// engines in their distinguishing regime — every near-term wake must
+	// be ordered against thousands of far-future timers, which a binary
+	// heap pays log(n) cache-missing sifts for and a timing wheel parks
+	// in far slots for O(1).
+	bench5ParkedTimers = 1024
+	// bench5Threads is the worker-thread count of each pair's service;
+	// every thread is an independent 100µs wake loop, so the event mix
+	// per checkpoint epoch scales with it.
+	bench5Threads = 4
+)
+
+// chatterLoop is the bench workload: a small thread pool whose workers
+// each wake every 100µs, together dirtying one page every 8th service
+// step. Epochs stay non-trivial (a real dirty set crosses the NIC every
+// checkpoint) while the event mix is dominated by scheduling, which is
+// what BENCH_5 compares.
+type chatterLoop struct {
+	proc *simkernel.Process
+	vma  *simkernel.VMA
+	seq  uint64
+}
+
+func (d *chatterLoop) SnapshotState() any { return d.seq }
+func (d *chatterLoop) RestoreState(s any) { d.seq = s.(uint64) }
+func (d *chatterLoop) Install(ctr *container.Container) {
+	d.proc = ctr.AddProcess("chatter", 1)
+	d.vma = d.proc.Mem.Mmap(16*simkernel.PageSize,
+		simkernel.ProtRead|simkernel.ProtWrite, "", d.proc.PID, ctr.ID)
+	_ = d.proc.Mem.Touch(d.vma, 0, 16, 1)
+	ctr.App = d
+	d.addTask(ctr)
+	d.parkTimers(ctr)
+}
+
+// parkTimers arms the pair's bank of idle-connection timers on the host
+// clock: self-rescheduling, staggered ~1s periods, so the pending-event
+// population stays deep for the whole run while the fire rate stays
+// negligible next to the 100µs task wakes.
+func (d *chatterLoop) parkTimers(ctr *container.Container) {
+	clock := ctr.Host.Clock
+	for i := 0; i < bench5ParkedTimers; i++ {
+		period := simtime.Second + simtime.Duration(i)*977*simtime.Microsecond
+		var rearm func()
+		rearm = func() { clock.Schedule(period, rearm) }
+		clock.Schedule(simtime.Duration(i+1)*3901*simtime.Microsecond, rearm)
+	}
+}
+
+func (d *chatterLoop) Reattach(ctr *container.Container, state any) {
+	d.RestoreState(state)
+	start := d.vma.Start
+	d.proc = nil
+	for _, p := range ctr.Procs {
+		if p.Name == "chatter" {
+			d.proc = p
+			break
+		}
+	}
+	if d.proc == nil {
+		panic("bench5: restored container lost the chatter process")
+	}
+	d.vma = d.proc.Mem.FindVMA(start)
+	ctr.App = d
+	d.addTask(ctr)
+}
+
+func (d *chatterLoop) addTask(ctr *container.Container) {
+	step := func() (simtime.Duration, simtime.Duration) {
+		d.seq++
+		if d.seq%(8*bench5Threads) == 0 {
+			_ = d.proc.Mem.Touch(d.vma, int(d.seq/8%14), 1, byte(d.seq))
+		}
+		return simtime.Microsecond, 100 * simtime.Microsecond
+	}
+	for i := 0; i < bench5Threads; i++ {
+		th := d.proc.MainThread()
+		if i >= len(d.proc.Threads) {
+			th = d.proc.NewThread()
+		} else {
+			th = d.proc.Threads[i]
+		}
+		ctr.AddTask(th, step)
+	}
+}
+
+func bench5Params(seed int64) cluster.Params {
+	return cluster.Params{
+		Workers:  bench5Workers,
+		Spares:   bench5Spares,
+		Pairs:    bench5Pairs,
+		Seed:     seed,
+		Workload: func(string) cluster.Workload { return &chatterLoop{} },
+	}
+}
+
+// bench5Serial runs the workload on the legacy serial clock.
+func bench5Serial(seed int64) (events uint64, wall time.Duration) {
+	clock := simtime.NewClock()
+	f, err := cluster.New(clock, bench5Params(seed))
+	if err != nil {
+		panic("bench5: " + err.Error())
+	}
+	f.Start()
+	runtime.GC()
+	start := time.Now()
+	clock.RunFor(bench5Virtual)
+	return clock.Executed(), time.Since(start)
+}
+
+// bench5Sharded runs the identical workload on the sharded engine.
+func bench5Sharded(seed int64, lanes int) (events uint64, shards int, wall time.Duration) {
+	sc := simtime.NewShardedClock(lanes)
+	root := sc.Root()
+	f, err := cluster.NewSharded(sc, bench5Params(seed))
+	if err != nil {
+		panic("bench5: " + err.Error())
+	}
+	f.Start()
+	runtime.GC()
+	start := time.Now()
+	root.RunFor(bench5Virtual)
+	return sc.Executed(), sc.Shards(), time.Since(start)
+}
+
+// Bench5SerialRun runs one serial-engine leg of the race for the
+// top-level BenchmarkShardedVsSerial.
+func Bench5SerialRun(seed int64) (events uint64, wall time.Duration) {
+	return bench5Serial(seed)
+}
+
+// Bench5ShardedRun runs one sharded-engine leg at the given lane count.
+func Bench5ShardedRun(seed int64, lanes int) (events uint64, wall time.Duration) {
+	ev, _, w := bench5Sharded(seed, lanes)
+	return ev, w
+}
+
+// RunBench5 races the engines. Rows run sequentially (never on the
+// worker pool: wall-clock timing must not share the CPU), each engine
+// configuration taking the best of three runs to damp scheduler noise.
+func RunBench5(seed int64) Bench5Report {
+	const tries = 3
+	// Every row runs under the same relaxed GC target (and starts its
+	// timed region from a freshly collected heap) so the comparison
+	// measures engine cost, not collector cadence against the parked
+	// timer banks' large live set.
+	defer debug.SetGCPercent(debug.SetGCPercent(800))
+	hosts := bench5Workers + bench5Spares
+	rep := Bench5Report{
+		Benchmark: "engine-throughput",
+		Seed:      seed,
+		VirtualMs: int64(bench5Virtual / simtime.Millisecond),
+	}
+
+	var serialEvents uint64
+	serialWall := time.Duration(1<<62 - 1)
+	for i := 0; i < tries; i++ {
+		ev, wall := bench5Serial(seed)
+		serialEvents = ev
+		if wall < serialWall {
+			serialWall = wall
+		}
+	}
+	serialRate := float64(serialEvents) / serialWall.Seconds()
+	rep.Rows = append(rep.Rows, Bench5Row{
+		Engine: "serial", Hosts: hosts, Pairs: bench5Pairs,
+		Events: serialEvents, WallMs: float64(serialWall.Microseconds()) / 1000,
+		EventsPerSec: serialRate, Speedup: 1,
+	})
+	progressf("bench5: serial %.0f events/sec", serialRate)
+
+	for _, lanes := range []int{1, 4, 8} {
+		var events uint64
+		var shards int
+		wall := time.Duration(1<<62 - 1)
+		for i := 0; i < tries; i++ {
+			ev, sh, w := bench5Sharded(seed, lanes)
+			events, shards = ev, sh
+			if w < wall {
+				wall = w
+			}
+		}
+		rate := float64(events) / wall.Seconds()
+		rep.Rows = append(rep.Rows, Bench5Row{
+			Engine: "sharded", Lanes: lanes, Hosts: hosts, Pairs: bench5Pairs,
+			Shards: shards, Events: events,
+			WallMs:       float64(wall.Microseconds()) / 1000,
+			EventsPerSec: rate, Speedup: rate / serialRate,
+		})
+		progressf("bench5: sharded lanes=%d %.0f events/sec (%.2fx)", lanes, rate, rate/serialRate)
+	}
+	return rep
+}
+
+// JSON renders the report with stable formatting for committing.
+func (r Bench5Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Bench5Table renders the report as a human-readable table.
+func Bench5Table(r Bench5Report) *metrics.Table {
+	tb := metrics.NewTable(
+		fmt.Sprintf("BENCH_5: engine event throughput (%d hosts, %d pairs, %dms virtual)",
+			bench5Workers+bench5Spares, bench5Pairs, r.VirtualMs),
+		"Engine", "Lanes", "Events", "Wall", "Events/sec", "Speedup")
+	for _, row := range r.Rows {
+		lanes := "-"
+		if row.Engine == "sharded" {
+			lanes = fmt.Sprintf("%d", row.Lanes)
+		}
+		tb.AddRow(row.Engine, lanes,
+			fmt.Sprintf("%d", row.Events),
+			fmt.Sprintf("%.1fms", row.WallMs),
+			fmt.Sprintf("%.0f", row.EventsPerSec),
+			fmt.Sprintf("%.2fx", row.Speedup))
+	}
+	return tb
+}

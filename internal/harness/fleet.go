@@ -34,6 +34,12 @@ func FleetScenarios() []FleetScenario {
 
 // RunFleetCampaign runs one verified fleet campaign for a scenario.
 func RunFleetCampaign(sc FleetScenario, seed int64, duration simtime.Duration) chaos.Result {
+	return RunFleetCampaignSharded(sc, seed, duration, 0)
+}
+
+// RunFleetCampaignSharded is RunFleetCampaign on an explicit simulation
+// engine (shards semantics as in chaos.Config.Shards).
+func RunFleetCampaignSharded(sc FleetScenario, seed int64, duration simtime.Duration, shards int) chaos.Result {
 	return chaos.VerifyFleetSeed(chaos.FleetConfig{
 		Seed:     seed,
 		Opts:     core.AllOpts(),
@@ -43,6 +49,7 @@ func RunFleetCampaign(sc FleetScenario, seed int64, duration simtime.Duration) c
 		Spares:   sc.Spares,
 		Kills:    sc.Kills,
 		Duration: duration,
+		Shards:   shards,
 	})
 }
 

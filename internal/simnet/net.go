@@ -75,6 +75,11 @@ type Port struct {
 	name    string
 	rx      func(Packet)
 	enabled bool
+	// clock, when set, is the simulated host's clock view: frames are
+	// delivered (and gratuitous-ARP rebinds applied) on the receiving
+	// host's shard. Nil ports deliver on the switch's own clock, which
+	// on a single-clock topology is the same thing.
+	clock *simtime.Clock
 }
 
 // Name returns the port's label.
@@ -114,9 +119,22 @@ func NewSwitch(clock *simtime.Clock, latency, arpDelay simtime.Duration) *Switch
 	return &Switch{clock: clock, latency: latency, arpDelay: arpDelay, arp: make(map[Addr]*Port)}
 }
 
-// Attach adds a port.
+// Attach adds a port delivering on the switch's clock.
 func (s *Switch) Attach(name string) *Port {
-	p := &Port{sw: s, name: name, enabled: true}
+	return s.AttachOn(name, nil)
+}
+
+// AttachOn adds a port that delivers ingress on the given host clock.
+// On a sharded engine this pins the port's traffic to the host's shard;
+// the switch's per-hop latency becomes the conservative lookahead of
+// the shard boundary (see ObserveLookahead).
+func (s *Switch) AttachOn(name string, clock *simtime.Clock) *Port {
+	p := &Port{sw: s, name: name, enabled: true, clock: clock}
+	if clock != nil {
+		if eng := clock.Engine(); eng != nil {
+			eng.ObserveLookahead(s.latency)
+		}
+	}
 	s.ports = append(s.ports, p)
 	return p
 }
@@ -129,9 +147,14 @@ func (s *Switch) Lookup(addr Addr) *Port { return s.arp[addr] }
 
 // GratuitousARP rebinds addr to p after the ARP propagation delay and
 // then invokes done. The backup agent broadcasts this after restoring
-// the container so client traffic reaches the new host (§VII-B).
+// the container so client traffic reaches the new host (§VII-B). The
+// rebind executes on the announcing port's clock when it has one.
 func (s *Switch) GratuitousARP(addr Addr, p *Port, done func()) {
-	s.clock.Schedule(s.arpDelay, func() {
+	clock := s.clock
+	if p.clock != nil {
+		clock = p.clock
+	}
+	clock.Schedule(s.arpDelay, func() {
 		s.arp[addr] = p
 		if done != nil {
 			done()
@@ -153,7 +176,18 @@ func (s *Switch) forward(from *Port, pkt Packet) {
 		s.dropped++
 		return
 	}
-	s.clock.Schedule(s.latency, func() {
+	// Deliver on the receiving host's clock: the switch hop is the
+	// shard boundary, so the frame crosses it through the engine's
+	// mailbox (SendFrom). Single-clock topologies and clockless ports
+	// degrade to a plain schedule on the switch's clock.
+	src, dstClock := s.clock, s.clock
+	if from.clock != nil {
+		src = from.clock
+	}
+	if dst.clock != nil {
+		dstClock = dst.clock
+	}
+	deliver := func() {
 		// Re-check at delivery time: the port may have been disconnected
 		// (recovery) while the frame was in flight.
 		if !dst.enabled || dst.rx == nil {
@@ -161,7 +195,8 @@ func (s *Switch) forward(from *Port, pkt Packet) {
 			return
 		}
 		dst.rx(pkt)
-	})
+	}
+	simtime.SendFrom(src, dstClock, src.Now().Add(s.latency), deliver)
 }
 
 // Link is a dedicated point-to-point link with bandwidth and latency,
@@ -169,7 +204,9 @@ func (s *Switch) forward(from *Port, pkt Packet) {
 // Transfers are serialized FIFO: a transfer begins when the link is free.
 type Link struct {
 	clock     *simtime.Clock
+	remote    *simtime.Clock // delivery clock; nil = deliver on clock
 	latency   simtime.Duration
+	lookahead simtime.Duration
 	bytesPerS int64
 	busyUntil simtime.Time
 	sent      int64
@@ -179,7 +216,41 @@ type Link struct {
 
 // NewLink creates a link. bytesPerSecond of zero means infinite bandwidth.
 func NewLink(clock *simtime.Clock, latency simtime.Duration, bytesPerSecond int64) *Link {
-	return &Link{clock: clock, latency: latency, bytesPerS: bytesPerSecond}
+	return &Link{clock: clock, latency: latency, lookahead: latency, bytesPerS: bytesPerSecond}
+}
+
+// BindRemote makes deliveries execute on the far end's clock. On a
+// sharded engine the link then becomes a shard boundary: deliveries
+// cross through the engine's mailbox, and the link's lookahead (its
+// minimum propagation delay) is reported as a conservative barrier
+// bound.
+func (l *Link) BindRemote(c *simtime.Clock) {
+	l.remote = c
+	if c != nil {
+		if eng := c.Engine(); eng != nil {
+			eng.ObserveLookahead(l.Lookahead())
+		}
+	}
+}
+
+// Lookahead returns the link's minimum propagation delay: the earliest
+// a frame submitted now can affect the far end. It defaults to the
+// link's latency.
+func (l *Link) Lookahead() simtime.Duration { return l.lookahead }
+
+// SetLookahead overrides the link's advertised lookahead (it must stay
+// at or below the true minimum delay for conservative windows to be
+// correct; lowering it is always safe, merely less parallel).
+func (l *Link) SetLookahead(d simtime.Duration) { l.lookahead = d }
+
+// deliver schedules fn at time t on the delivery clock, crossing the
+// shard boundary when the link has a bound remote.
+func (l *Link) deliver(t simtime.Time, fn func()) {
+	if l.remote == nil {
+		l.clock.ScheduleAt(t, fn)
+		return
+	}
+	simtime.SendFrom(l.clock, l.remote, t, fn)
 }
 
 // Transfer schedules delivery of size bytes; done runs when the last
@@ -201,7 +272,7 @@ func (l *Link) Transfer(size int64, done func()) simtime.Time {
 	deliver := l.busyUntil.Add(l.latency)
 	l.sent += size
 	if done != nil {
-		l.clock.ScheduleAt(deliver, func() {
+		l.deliver(deliver, func() {
 			if l.down {
 				l.drops++
 				return
@@ -223,7 +294,7 @@ func (l *Link) TransferExpress(size int64, done func()) simtime.Time {
 	l.sent += size
 	deliver := l.clock.Now().Add(l.latency)
 	if done != nil {
-		l.clock.ScheduleAt(deliver, func() {
+		l.deliver(deliver, func() {
 			if l.down {
 				l.drops++
 				return

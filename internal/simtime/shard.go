@@ -1,0 +1,738 @@
+// Sharded simulation engine: one hierarchical timing wheel per lane,
+// a (time, shardID, seq) total order, and conservative-lookahead
+// barriers at the cross-shard edges.
+//
+// # Shards and lanes
+//
+// A *logical shard* is a determinism domain: one per simulated host
+// (plus shard 0, the root, for fabric-level drivers — switches,
+// campaign oracles, fleet control loops). Shards are created with
+// NewShard and are part of the topology, so the total order
+// (when, shard, seq) never depends on how the engine is configured.
+// A *lane* is a physical event wheel; shard s lives on lane s mod L.
+// Running the same topology with L=1 or L=8 lanes only changes which
+// wheel holds each event, never the order events fire in — that is the
+// byte-identical-trace guarantee the chaos parity oracle checks.
+//
+// # Total order
+//
+// Every event is keyed (when, shard, seq) where shard is the shard
+// *executing when the event was scheduled* (the scheduling context;
+// the view's own shard when scheduled from driver code outside any
+// event) and seq is that shard's private counter. Because each shard's
+// execution is itself deterministic, keys are assigned identically no
+// matter how many lanes exist or whether an event crossed a mailbox,
+// so the merged order is reproducible by construction.
+//
+// # Ladder mode vs windowed mode
+//
+// By default the engine runs in "ladder" mode: a single goroutine pops
+// the globally minimal key across all lane wheels. This keeps exact
+// serial semantics (cross-shard scheduling and shared state are legal)
+// while replacing the one deep binary heap with L shallow O(1) wheels.
+//
+// With SetWorkers(n>=1) and a positive lookahead (SetLookahead, or the
+// minimum link latency reported via ObserveLookahead), the engine runs
+// conservative windows instead: each round it computes the lower-bound
+// timestamp H = minNextEvent + lookahead, drains every lane up to (but
+// not including) H — an event exactly at the horizon waits for the
+// next window — and merges cross-lane mailboxes at the barrier.
+// Within a window lanes may run on separate goroutines; lane code must
+// then touch only its own shard's state and use SendFrom for
+// cross-lane communication (arrival times are asserted against H).
+package simtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Timing-wheel geometry. Level 0 slots are 1024ns (~1µs) wide; each
+// higher level is 256× coarser, so four levels cover ~73 minutes of
+// virtual time and anything beyond spills into a keyed overflow heap.
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+	tickShift   = 10
+	bitmapWords = wheelSlots / 64
+)
+
+// keyLess is the engine's total order: (when, shard, seq).
+func keyLess(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	if a.shard != b.shard {
+		return a.shard < b.shard
+	}
+	return a.seq < b.seq
+}
+
+// keyHeap is a heap over the full (when, shard, seq) key, used only for
+// the far-future overflow of a wheel.
+type keyHeap []*Event
+
+func (h *keyHeap) push(e *Event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !keyLess((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *keyHeap) pop() *Event {
+	old := *h
+	e := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	i, hp := 0, *h
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && keyLess(hp[l], hp[m]) {
+			m = l
+		}
+		if r < n && keyLess(hp[r], hp[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		hp[i], hp[m] = hp[m], hp[i]
+		i = m
+	}
+	return e
+}
+
+type wheelLevel struct {
+	slots  [wheelSlots][]*Event
+	bitmap [bitmapWords]uint64
+}
+
+// wheel is one lane's future-event store: hierarchical bitmap-indexed
+// timing wheels with a keyed overflow heap past the outermost span.
+// Invariant: every queued event has when >= cur.
+type wheel struct {
+	cur      Time
+	levels   [wheelLevels]wheelLevel
+	overflow keyHeap
+	count    int
+	// free recycles drained slot slices so steady-state insert/drain
+	// cycles allocate nothing (the freelist is bounded by the number of
+	// slots ever nonempty at once).
+	free [][]*Event
+}
+
+func (w *wheel) insert(e *Event) {
+	w.count++
+	tw := uint64(e.when) >> tickShift
+	tc := uint64(w.cur) >> tickShift
+	delta := tw - tc
+	for l := uint(0); l < wheelLevels; l++ {
+		if delta < 1<<((l+1)*wheelBits) {
+			idx := int((tw >> (l * wheelBits)) & wheelMask)
+			lv := &w.levels[l]
+			if lv.slots[idx] == nil {
+				lv.slots[idx] = w.getSlot()
+			}
+			lv.slots[idx] = append(lv.slots[idx], e)
+			lv.bitmap[idx>>6] |= 1 << uint(idx&63)
+			return
+		}
+	}
+	w.overflow.push(e)
+}
+
+func (w *wheel) getSlot() []*Event {
+	if n := len(w.free); n > 0 {
+		s := w.free[n-1]
+		w.free = w.free[:n-1]
+		return s
+	}
+	return make([]*Event, 0, 8)
+}
+
+// recycle returns a drained slot slice to the freelist, dropping its
+// event pointers for the GC.
+func (w *wheel) recycle(s []*Event) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	w.free = append(w.free, s[:0])
+}
+
+// findSlot returns the first nonempty slot at level l, scanning
+// circularly from the slot containing cur. start is the slot's absolute
+// start time. Whole-empty bitmap words are skipped.
+func (w *wheel) findSlot(l uint) (idx int, start Time, found bool) {
+	lv := &w.levels[l]
+	curSlotNum := (uint64(w.cur) >> tickShift) >> (l * wheelBits)
+	s := int(curSlotNum & wheelMask)
+	for off := 0; off < wheelSlots; off++ {
+		i := (s + off) & wheelMask
+		word := lv.bitmap[i>>6]
+		if word == 0 {
+			off += 63 - (i & 63) // skip rest of the empty word
+			continue
+		}
+		if word&(1<<uint(i&63)) != 0 {
+			slotNum := curSlotNum + uint64(off)
+			return i, Time((slotNum << (l * wheelBits)) << tickShift), true
+		}
+	}
+	return 0, 0, false
+}
+
+// nextSlot removes and returns the earliest nonempty level-0 window's
+// events plus the exclusive end time of that window, cascading higher
+// levels down as needed. ok is false when the wheel is empty.
+//
+// A level-l slot start is a multiple of the slot width 256^l ticks, so
+// two candidate slots at different levels either start at the same time
+// (the coarser one may hide earlier events and must cascade first) or
+// the later one starts at or beyond the earlier one's end (safe).
+// Choosing the minimum-start candidate, preferring the higher level on
+// ties, is therefore sufficient for exact ordering.
+func (w *wheel) nextSlot() (batch []*Event, end Time, ok bool) {
+	for {
+		bestL := -1
+		var bestIdx int
+		var bestStart Time
+		for l := uint(0); l < wheelLevels; l++ {
+			idx, start, found := w.findSlot(l)
+			if !found {
+				continue
+			}
+			if bestL < 0 || start < bestStart || (start == bestStart && int(l) > bestL) {
+				bestL, bestIdx, bestStart = int(l), idx, start
+			}
+		}
+		if len(w.overflow) > 0 && (bestL < 0 || w.overflow[0].when <= bestStart) {
+			// The overflow head is due before (or at) every wheel slot:
+			// pull it back through the wheel so it merges in exact order
+			// with any same-window events.
+			e := w.overflow.pop()
+			if e.when > w.cur {
+				w.cur = e.when
+			}
+			w.count--
+			w.insert(e)
+			continue
+		}
+		if bestL < 0 {
+			return nil, 0, false
+		}
+		if start := bestStart; bestL == 0 {
+			lv := &w.levels[0]
+			batch = lv.slots[bestIdx]
+			lv.slots[bestIdx] = nil
+			lv.bitmap[bestIdx>>6] &^= 1 << uint(bestIdx&63)
+			w.count -= len(batch)
+			if start > w.cur {
+				w.cur = start
+			}
+			return batch, start + (1 << tickShift), true
+		}
+		// Cascade: advance to the slot and push its events one level
+		// down. Deltas from the advanced cur are strictly below the slot
+		// width, so every event lands at level <= bestL-1: progress.
+		if bestStart > w.cur {
+			w.cur = bestStart
+		}
+		lv := &w.levels[bestL]
+		evs := lv.slots[bestIdx]
+		lv.slots[bestIdx] = nil
+		lv.bitmap[bestIdx>>6] &^= 1 << uint(bestIdx&63)
+		for _, e := range evs {
+			w.count--
+			w.insert(e)
+		}
+		w.recycle(evs)
+	}
+}
+
+// lane is one physical event wheel plus the sorted "run" of the window
+// currently being consumed. Invariant: wheel events have when >= runEnd;
+// inserts below runEnd splice into the run's unconsumed tail.
+type lane struct {
+	eng      *ShardedClock
+	idx      int
+	now      Time
+	wh       wheel
+	run      []*Event
+	runPos   int
+	runEnd   Time
+	outbox   []*Event
+	running  bool  // inside a window drain (windowed mode)
+	curShard int32 // shard of the event currently executing
+	executed uint64
+	// live is this lane's contribution to Pending(). Each counter is
+	// only ever touched by its lane's own execution context (or the
+	// single driver thread), so no atomics are needed; cross-lane sends
+	// count on the sender and settle on the receiver, which keeps the
+	// sum — the only externally visible value — exact at barriers.
+	live int64
+	// cachedHead memoizes head() for the ladder's min-scan; invalidated
+	// by pop, insert, and cancel.
+	cachedHead *Event
+	headValid  bool
+}
+
+// peek returns head() through the lane's cache: lanes whose queues did
+// not change since the last scan answer with two loads.
+func (ln *lane) peek() *Event {
+	if !ln.headValid {
+		ln.cachedHead = ln.head()
+		ln.headValid = true
+	}
+	return ln.cachedHead
+}
+
+func (ln *lane) insert(e *Event) {
+	ln.headValid = false
+	if e.when < ln.runEnd {
+		i := ln.runPos
+		for i < len(ln.run) && keyLess(ln.run[i], e) {
+			i++
+		}
+		ln.run = append(ln.run, nil)
+		copy(ln.run[i+1:], ln.run[i:])
+		ln.run[i] = e
+		return
+	}
+	ln.wh.insert(e)
+}
+
+// head returns the lane's next live event without consuming it, pulling
+// and key-sorting the next wheel window when the run is exhausted.
+func (ln *lane) head() *Event {
+	for {
+		for ln.runPos < len(ln.run) {
+			e := ln.run[ln.runPos]
+			if e.cancel {
+				ln.run[ln.runPos] = nil
+				ln.runPos++
+				continue
+			}
+			return e
+		}
+		if ln.wh.count == 0 && len(ln.wh.overflow) == 0 {
+			ln.run = ln.run[:0]
+			ln.runPos = 0
+			return nil
+		}
+		batch, end, ok := ln.wh.nextSlot()
+		if !ok {
+			ln.run = ln.run[:0]
+			ln.runPos = 0
+			return nil
+		}
+		// Copy live events into the lane's reusable run buffer and hand
+		// the slot slice back to the wheel: the steady-state refill path
+		// allocates nothing.
+		ln.run = ln.run[:0]
+		for _, e := range batch {
+			if !e.cancel {
+				ln.run = append(ln.run, e)
+			}
+		}
+		ln.wh.recycle(batch)
+		sortByKey(ln.run)
+		ln.runPos = 0
+		ln.runEnd = end
+	}
+}
+
+// sortByKey orders a window batch by (when, shard, seq). Batches are
+// typically small (one level-0 slot), so insertion sort wins and
+// allocates nothing; large batches fall back to the library sort.
+func sortByKey(evs []*Event) {
+	if len(evs) <= 48 {
+		for i := 1; i < len(evs); i++ {
+			e := evs[i]
+			j := i - 1
+			for j >= 0 && keyLess(e, evs[j]) {
+				evs[j+1] = evs[j]
+				j--
+			}
+			evs[j+1] = e
+		}
+		return
+	}
+	sort.Slice(evs, func(i, j int) bool { return keyLess(evs[i], evs[j]) })
+}
+
+// pop consumes the event head() just returned.
+func (ln *lane) pop() {
+	ln.run[ln.runPos] = nil
+	ln.runPos++
+	ln.headValid = false
+}
+
+// drainWindow executes the lane's events with when < limit in key
+// order. In windowed mode this may run on the lane's own goroutine.
+func (ln *lane) drainWindow(limit Time) {
+	ln.running = true
+	for {
+		e := ln.head()
+		if e == nil || e.when >= limit {
+			break
+		}
+		ln.pop()
+		if e.when > ln.now {
+			ln.now = e.when
+		}
+		ln.curShard = e.target
+		ln.live--
+		e.fn()
+		ln.executed++
+	}
+	if limit-1 > ln.now {
+		ln.now = limit - 1
+	}
+	ln.running = false
+}
+
+// ShardedClock is the sharded simulation engine. Create it with
+// NewShardedClock, obtain *Clock views with Root and NewShard, and
+// drive it through any view's Run/RunUntil/RunFor (or its own).
+type ShardedClock struct {
+	lanes    []*lane
+	views    []*Clock // index = shard ID; views[0] is the root
+	ctrs     []uint64 // per-shard key counters
+	now      Time
+	curShard int32 // executing shard in ladder mode; -1 outside events
+	stopped  bool
+	running  bool
+	windowed bool // a window drain is in progress
+	windowH  Time
+	workers  int
+	la       Duration // explicit lookahead (SetLookahead)
+	observed Duration // min link lookahead (ObserveLookahead)
+}
+
+// NewShardedClock creates an engine with the given number of physical
+// lanes (clamped to >= 1). Lane count is pure configuration: it never
+// affects event order.
+func NewShardedClock(lanes int) *ShardedClock {
+	if lanes < 1 {
+		lanes = 1
+	}
+	sc := &ShardedClock{curShard: -1}
+	for i := 0; i < lanes; i++ {
+		sc.lanes = append(sc.lanes, &lane{eng: sc, idx: i})
+	}
+	root := &Clock{eng: sc, shard: 0, lane: 0}
+	sc.views = append(sc.views, root)
+	sc.ctrs = append(sc.ctrs, 0)
+	return sc
+}
+
+// Lanes returns the number of physical lanes.
+func (sc *ShardedClock) Lanes() int { return len(sc.lanes) }
+
+// Shards returns the number of logical shards (including the root).
+func (sc *ShardedClock) Shards() int { return len(sc.views) }
+
+// Root returns the fabric view: shard 0, for switches, campaign drivers
+// and anything else that is not pinned to one simulated host.
+func (sc *ShardedClock) Root() *Clock { return sc.views[0] }
+
+// NewShard creates the next logical shard and returns its Clock view.
+// Call once per simulated host, in topology order, so shard IDs — and
+// with them the (when, shard, seq) total order — depend only on the
+// topology, never on lane count.
+func (sc *ShardedClock) NewShard() *Clock {
+	id := int32(len(sc.views))
+	v := &Clock{eng: sc, shard: id, lane: int(id) % len(sc.lanes)}
+	sc.views = append(sc.views, v)
+	sc.ctrs = append(sc.ctrs, 0)
+	return v
+}
+
+// View returns the Clock view for shard id (Root for 0).
+func (sc *ShardedClock) View(id int) *Clock { return sc.views[id] }
+
+// SetLookahead sets an explicit conservative-lookahead bound,
+// overriding the minimum observed from links.
+func (sc *ShardedClock) SetLookahead(d Duration) { sc.la = d }
+
+// ObserveLookahead reports a cross-shard link's minimum propagation
+// delay; the engine keeps the minimum across all links as its barrier
+// lookahead. simnet links call this when bound to a sharded view.
+func (sc *ShardedClock) ObserveLookahead(d Duration) {
+	if d <= 0 {
+		return
+	}
+	if sc.observed == 0 || d < sc.observed {
+		sc.observed = d
+	}
+}
+
+// Lookahead returns the effective barrier lookahead: the explicit value
+// if set, else the minimum link latency observed.
+func (sc *ShardedClock) Lookahead() Duration {
+	if sc.la > 0 {
+		return sc.la
+	}
+	return sc.observed
+}
+
+// SetWorkers switches the engine into conservative-window mode with up
+// to n lane goroutines per window (n <= 0 restores ladder mode; n == 1
+// drains windows sequentially, still through the windowed path).
+// Windowed mode additionally requires a positive Lookahead. Lane code
+// must conform to shard isolation: within a window it may only touch
+// its own shard's state and must use SendFrom across lanes.
+func (sc *ShardedClock) SetWorkers(n int) { sc.workers = n }
+
+// Now returns the engine's global virtual time.
+func (sc *ShardedClock) Now() Time { return sc.now }
+
+// Pending returns the number of scheduled events that have neither
+// fired nor been canceled, across all lanes.
+func (sc *ShardedClock) Pending() int {
+	var n int64
+	for _, ln := range sc.lanes {
+		n += ln.live
+	}
+	return int(n)
+}
+
+// Executed returns the total number of events fired.
+func (sc *ShardedClock) Executed() uint64 {
+	var n uint64
+	for _, ln := range sc.lanes {
+		n += ln.executed
+	}
+	return n
+}
+
+func (sc *ShardedClock) viewNow(c *Clock) Time {
+	ln := sc.lanes[c.lane]
+	if sc.windowed && ln.running {
+		return ln.now
+	}
+	return sc.now
+}
+
+func (sc *ShardedClock) scheduleAt(view *Clock, t Time, fn func()) *Event {
+	ln := sc.lanes[view.lane]
+	var schedShard int32
+	if sc.windowed {
+		if !ln.running {
+			panic("simtime: cross-lane Schedule during a conservative window; use SendFrom")
+		}
+		schedShard = ln.curShard
+		if t < ln.now {
+			t = ln.now
+		}
+	} else {
+		if sc.curShard >= 0 {
+			schedShard = sc.curShard
+		} else {
+			schedShard = view.shard
+		}
+		if t < sc.now {
+			t = sc.now
+		}
+	}
+	e := &Event{when: t, seq: sc.ctrs[schedShard], shard: schedShard, target: view.shard, fn: fn, index: -1, eng: sc}
+	sc.ctrs[schedShard]++
+	ln.live++
+	ln.insert(e)
+	return e
+}
+
+func (sc *ShardedClock) sendFrom(src, dst *Clock, t Time, fn func()) *Event {
+	if fn == nil {
+		panic("simtime: SendFrom with nil function")
+	}
+	if !sc.windowed {
+		return sc.scheduleAt(dst, t, fn)
+	}
+	srcLn := sc.lanes[src.lane]
+	if !srcLn.running {
+		panic("simtime: SendFrom outside lane execution during a window")
+	}
+	schedShard := srcLn.curShard
+	if t < srcLn.now {
+		t = srcLn.now
+	}
+	e := &Event{when: t, seq: sc.ctrs[schedShard], shard: schedShard, target: dst.shard, fn: fn, index: -1, eng: sc}
+	sc.ctrs[schedShard]++
+	srcLn.live++
+	if dst.lane == src.lane {
+		srcLn.insert(e)
+		return e
+	}
+	if t < sc.windowH {
+		panic(fmt.Sprintf("simtime: cross-shard send arriving at %v violates lookahead horizon %v", t, sc.windowH))
+	}
+	srcLn.outbox = append(srcLn.outbox, e)
+	return e
+}
+
+func (sc *ShardedClock) cancelEvent(e *Event) {
+	ln := sc.lanes[sc.views[e.target].lane]
+	ln.live--
+	// The canceled event may be the lane's memoized head.
+	ln.headValid = false
+}
+
+func (sc *ShardedClock) flushOutboxes() {
+	for _, ln := range sc.lanes {
+		for _, e := range ln.outbox {
+			sc.lanes[sc.views[e.target].lane].insert(e)
+		}
+		ln.outbox = ln.outbox[:0]
+	}
+}
+
+// step fires the single globally-minimal event (ladder semantics).
+func (sc *ShardedClock) step() bool {
+	var best *lane
+	var bestE *Event
+	for _, ln := range sc.lanes {
+		e := ln.peek()
+		if e == nil {
+			continue
+		}
+		if bestE == nil || keyLess(e, bestE) {
+			bestE, best = e, ln
+		}
+	}
+	if bestE == nil {
+		return false
+	}
+	best.pop()
+	sc.now = bestE.when
+	best.now = bestE.when
+	sc.curShard = bestE.target
+	best.live--
+	bestE.fn()
+	best.executed++
+	sc.curShard = -1
+	return true
+}
+
+func (sc *ShardedClock) runLadder(until Time, bounded bool) {
+	for !sc.stopped {
+		var best *lane
+		var bestE *Event
+		for _, ln := range sc.lanes {
+			e := ln.peek()
+			if e == nil {
+				continue
+			}
+			if bestE == nil || keyLess(e, bestE) {
+				bestE, best = e, ln
+			}
+		}
+		if bestE == nil || (bounded && bestE.when > until) {
+			return
+		}
+		best.pop()
+		sc.now = bestE.when
+		best.now = bestE.when
+		sc.curShard = bestE.target
+		best.live--
+		bestE.fn()
+		best.executed++
+		sc.curShard = -1
+	}
+}
+
+func (sc *ShardedClock) runWindowed(until Time, bounded bool) {
+	la := Time(sc.Lookahead())
+	for !sc.stopped {
+		sc.flushOutboxes()
+		var minE *Event
+		for _, ln := range sc.lanes {
+			if e := ln.peek(); e != nil && (minE == nil || keyLess(e, minE)) {
+				minE = e
+			}
+		}
+		if minE == nil || (bounded && minE.when > until) {
+			return
+		}
+		// Lower-bound timestamp: everything below H is safe to execute
+		// because no cross-lane send issued at >= minE.when can arrive
+		// before minE.when + lookahead. An event exactly at H waits for
+		// the next window.
+		h := minE.when + la
+		if h <= minE.when {
+			h = minE.when + 1
+		}
+		if bounded && h > until+1 {
+			h = until + 1
+		}
+		sc.now = minE.when
+		sc.windowH = h
+		sc.windowed = true
+		if sc.workers > 1 && len(sc.lanes) > 1 {
+			var wg sync.WaitGroup
+			for _, ln := range sc.lanes {
+				wg.Add(1)
+				go func(ln *lane) {
+					defer wg.Done()
+					ln.drainWindow(h)
+				}(ln)
+			}
+			wg.Wait()
+		} else {
+			for _, ln := range sc.lanes {
+				ln.drainWindow(h)
+			}
+		}
+		sc.windowed = false
+		sc.now = h - 1
+	}
+}
+
+func (sc *ShardedClock) run(until Time, bounded bool) {
+	if sc.running {
+		panic("simtime: reentrant Run on ShardedClock")
+	}
+	sc.running = true
+	defer func() { sc.running = false }()
+	sc.stopped = false
+	if sc.workers > 0 && sc.Lookahead() > 0 && len(sc.lanes) > 1 {
+		sc.runWindowed(until, bounded)
+	} else {
+		sc.runLadder(until, bounded)
+	}
+	if bounded && sc.now < until {
+		sc.now = until
+	}
+	for _, ln := range sc.lanes {
+		if ln.now < sc.now {
+			ln.now = sc.now
+		}
+	}
+}
+
+// Run fires events until no lane has any left or Stop is called.
+func (sc *ShardedClock) Run() { sc.run(0, false) }
+
+// RunUntil fires events with time <= t, then sets the engine to t.
+func (sc *ShardedClock) RunUntil(t Time) { sc.run(t, true) }
+
+// RunFor is shorthand for RunUntil(Now().Add(d)).
+func (sc *ShardedClock) RunFor(d Duration) { sc.RunUntil(sc.now.Add(d)) }
+
+// Stop makes a Run/RunUntil in progress return: after the current event
+// in ladder mode, after the current window in windowed mode.
+func (sc *ShardedClock) Stop() { sc.stopped = true }

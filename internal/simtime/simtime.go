@@ -3,9 +3,20 @@
 //
 // All simulated activity — container execution, packet delivery, disk
 // writes, checkpoint state collection — is expressed as events on a
-// single Clock. The simulation is therefore deterministic: events fire in
+// Clock. The simulation is therefore deterministic: events fire in
 // (time, insertion order) sequence, and the only source of randomness is
 // explicitly seeded generators (see NewRand).
+//
+// Two engines implement the same Clock API:
+//
+//   - NewClock returns the classic serial engine: one binary heap, one
+//     goroutine, (time, seq) order. This is the reference semantics.
+//   - NewShardedClock returns the sharded engine (see shard.go): one
+//     hierarchical timing wheel per lane, (time, shardID, seq) total
+//     order, and optional conservative-lookahead windows. Clocks
+//     obtained from ShardedClock.Root/NewShard are *views* onto that
+//     engine; every Clock method transparently routes to it, so code
+//     written against *Clock runs unchanged on either engine.
 package simtime
 
 import (
@@ -46,11 +57,19 @@ func (t Time) String() string { return Duration(t).String() }
 // Event is a scheduled callback. It is returned by Schedule so callers
 // can cancel it before it fires.
 type Event struct {
-	when   Time
+	when Time
+	// seq breaks ties between same-time events. On the serial engine it
+	// is a single clock-wide counter; on the sharded engine it is the
+	// scheduling shard's counter, and (when, shard, seq) is the total
+	// order.
 	seq    uint64
+	shard  int32 // scheduling shard (sharded engine only)
+	target int32 // shard whose wheel holds the event (sharded engine only)
 	fn     func()
 	index  int // heap index; -1 when not queued
 	cancel bool
+	owner  *Clock        // serial engine that queued the event
+	eng    *ShardedClock // sharded engine that queued the event
 }
 
 // Canceled reports whether Cancel was called on the event.
@@ -61,8 +80,22 @@ func (e *Event) Canceled() bool { return e.cancel }
 func (e *Event) When() Time { return e.when }
 
 // Cancel prevents the event from firing. Canceling an event that already
-// fired is a no-op.
-func (e *Event) Cancel() { e.cancel = true }
+// fired is a no-op. On the serial engine the event is removed from the
+// heap immediately, so Pending() never counts dead entries; the sharded
+// engine drops canceled events lazily when their slot drains.
+func (e *Event) Cancel() {
+	if e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.eng != nil {
+		e.eng.cancelEvent(e)
+		return
+	}
+	if e.owner != nil && e.index >= 0 {
+		heap.Remove(&e.owner.pq, e.index)
+	}
+}
 
 // eventHeap orders events by (when, seq).
 type eventHeap []*Event
@@ -95,25 +128,62 @@ func (h *eventHeap) Pop() any {
 }
 
 // Clock is the virtual clock and event queue. The zero value is not
-// usable; create one with NewClock.
+// usable; create one with NewClock, or obtain a sharded view with
+// ShardedClock.Root/NewShard.
 type Clock struct {
-	now     Time
-	seq     uint64
-	pq      eventHeap
-	stopped bool
+	now      Time
+	seq      uint64
+	pq       eventHeap
+	stopped  bool
+	executed uint64
+
+	// View fields: when eng is non-nil this Clock is a view onto a
+	// sharded engine and all state above is unused.
+	eng   *ShardedClock
+	shard int32
+	lane  int
 }
 
-// NewClock returns a clock at virtual time zero with an empty queue.
+// NewClock returns a serial clock at virtual time zero with an empty
+// queue.
 func NewClock() *Clock {
 	return &Clock{}
 }
 
 // Now returns the current virtual time.
-func (c *Clock) Now() Time { return c.now }
+func (c *Clock) Now() Time {
+	if c.eng != nil {
+		return c.eng.viewNow(c)
+	}
+	return c.now
+}
 
-// Pending returns the number of events still queued (including canceled
-// ones that have not been drained).
-func (c *Clock) Pending() int { return len(c.pq) }
+// Shard returns the shard ID this clock schedules onto: 0 for a serial
+// clock or a root view, the shard's ID for views from NewShard.
+func (c *Clock) Shard() int { return int(c.shard) }
+
+// Engine returns the sharded engine this clock is a view of, or nil for
+// a serial clock. Simulation components (links, switches) use it to
+// report their minimum propagation delay via ObserveLookahead.
+func (c *Clock) Engine() *ShardedClock { return c.eng }
+
+// Pending returns the number of scheduled events that have neither fired
+// nor been canceled.
+func (c *Clock) Pending() int {
+	if c.eng != nil {
+		return c.eng.Pending()
+	}
+	return len(c.pq)
+}
+
+// Executed returns the number of events fired since the clock was
+// created. For a sharded view it reports the whole engine's count.
+func (c *Clock) Executed() uint64 {
+	if c.eng != nil {
+		return c.eng.Executed()
+	}
+	return c.executed
+}
 
 // Schedule queues fn to run after delay d. A negative delay is treated as
 // zero. The returned Event may be canceled.
@@ -121,7 +191,7 @@ func (c *Clock) Schedule(d Duration, fn func()) *Event {
 	if d < 0 {
 		d = 0
 	}
-	return c.ScheduleAt(c.now.Add(d), fn)
+	return c.ScheduleAt(c.Now().Add(d), fn)
 }
 
 // ScheduleAt queues fn to run at absolute virtual time t. Times in the
@@ -130,25 +200,45 @@ func (c *Clock) ScheduleAt(t Time, fn func()) *Event {
 	if fn == nil {
 		panic("simtime: ScheduleAt with nil function")
 	}
+	if c.eng != nil {
+		return c.eng.scheduleAt(c, t, fn)
+	}
 	if t < c.now {
 		t = c.now
 	}
-	e := &Event{when: t, seq: c.seq, fn: fn, index: -1}
+	e := &Event{when: t, seq: c.seq, fn: fn, index: -1, owner: c}
 	c.seq++
 	heap.Push(&c.pq, e)
 	return e
 }
 
+// SendFrom schedules fn at absolute time at on dst, identifying src as
+// the sending clock. On serial clocks (or when src and dst share a
+// lane) this is exactly dst.ScheduleAt. On a sharded engine running
+// conservative windows, cross-lane sends must use SendFrom: the event is
+// placed in the sending lane's outbox and merged at the next barrier,
+// and its arrival time is checked against the lookahead horizon.
+func SendFrom(src, dst *Clock, at Time, fn func()) *Event {
+	if dst.eng == nil || dst.eng != src.eng {
+		return dst.ScheduleAt(at, fn)
+	}
+	return dst.eng.sendFrom(src, dst, at, fn)
+}
+
 // Step fires the next event, advancing the clock to its time. It returns
-// false when the queue is empty. Canceled events are skipped (but still
-// advance nothing).
+// false when the queue is empty. Canceled events are removed eagerly by
+// Cancel; any stragglers are skipped (and advance nothing).
 func (c *Clock) Step() bool {
+	if c.eng != nil {
+		return c.eng.step()
+	}
 	for len(c.pq) > 0 {
 		e := heap.Pop(&c.pq).(*Event)
 		if e.cancel {
 			continue
 		}
 		c.now = e.when
+		c.executed++
 		e.fn()
 		return true
 	}
@@ -157,22 +247,31 @@ func (c *Clock) Step() bool {
 
 // Run fires events until the queue is empty or Stop is called.
 func (c *Clock) Run() {
+	if c.eng != nil {
+		c.eng.Run()
+		return
+	}
 	c.stopped = false
 	for !c.stopped && c.Step() {
 	}
 }
 
 // RunUntil fires events with time <= t, then sets the clock to t. Events
-// scheduled after t remain queued.
+// scheduled after t remain queued. An event exactly at t fires; the
+// clock always lands exactly on t even when the queue goes empty early
+// or the head events were canceled.
 func (c *Clock) RunUntil(t Time) {
+	if c.eng != nil {
+		c.eng.RunUntil(t)
+		return
+	}
 	c.stopped = false
-	for !c.stopped {
-		if len(c.pq) == 0 {
-			break
-		}
-		// Peek at the earliest non-canceled event.
+	for !c.stopped && len(c.pq) > 0 {
 		next := c.pq[0]
 		if next.cancel {
+			// Canceled events are removed eagerly by Cancel, so this is
+			// defensive only: drop stragglers without touching now, so a
+			// canceled head never stalls or misorders the boundary.
 			heap.Pop(&c.pq)
 			continue
 		}
@@ -187,10 +286,16 @@ func (c *Clock) RunUntil(t Time) {
 }
 
 // RunFor is shorthand for RunUntil(Now().Add(d)).
-func (c *Clock) RunFor(d Duration) { c.RunUntil(c.now.Add(d)) }
+func (c *Clock) RunFor(d Duration) { c.RunUntil(c.Now().Add(d)) }
 
 // Stop makes a Run/RunUntil in progress return after the current event.
-func (c *Clock) Stop() { c.stopped = true }
+func (c *Clock) Stop() {
+	if c.eng != nil {
+		c.eng.Stop()
+		return
+	}
+	c.stopped = true
+}
 
 // Sleeper is a convenience for code that wants to model a busy/blocked
 // interval: it schedules fn after d and returns the event.

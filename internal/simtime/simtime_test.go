@@ -322,6 +322,106 @@ func TestPropertyCancelSubset(t *testing.T) {
 	}
 }
 
+// Regression: Cancel must remove the event from the heap immediately so
+// Pending() does not overreport — long chaos runs used to accumulate
+// dead entries until they drained.
+func TestCancelRemovesFromQueue(t *testing.T) {
+	c := NewClock()
+	events := make([]*Event, 100)
+	for i := range events {
+		events[i] = c.Schedule(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	if c.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", c.Pending())
+	}
+	for i, e := range events {
+		if i%2 == 0 {
+			e.Cancel()
+		}
+	}
+	if c.Pending() != 50 {
+		t.Fatalf("Pending after canceling half = %d, want 50 (canceled events must be removed eagerly)", c.Pending())
+	}
+	fired := 0
+	c.Schedule(0, func() {}) // repopulate ordering stress
+	for c.Step() {
+		fired++
+	}
+	if fired != 51 {
+		t.Fatalf("fired %d events, want 51", fired)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", c.Pending())
+	}
+}
+
+func TestCancelDoubleIsNoop(t *testing.T) {
+	c := NewClock()
+	e := c.Schedule(time.Millisecond, func() {})
+	e.Cancel()
+	e.Cancel() // second cancel must not panic or corrupt the heap
+	if c.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", c.Pending())
+	}
+}
+
+// RunUntil boundary cases: an event exactly at t fires, a canceled head
+// neither fires nor stalls the boundary, and an empty queue still lands
+// the clock exactly on t.
+func TestRunUntilEventExactlyAtBoundary(t *testing.T) {
+	c := NewClock()
+	fired := false
+	c.Schedule(20*time.Millisecond, func() { fired = true })
+	c.RunUntil(Time(20 * time.Millisecond))
+	if !fired {
+		t.Fatal("event exactly at RunUntil boundary did not fire")
+	}
+	if c.Now() != Time(20*time.Millisecond) {
+		t.Fatalf("clock = %v, want exactly 20ms", c.Now())
+	}
+}
+
+func TestRunUntilCanceledHead(t *testing.T) {
+	c := NewClock()
+	head := c.Schedule(5*time.Millisecond, func() { t.Error("canceled head fired") })
+	var firedAt Time
+	c.Schedule(10*time.Millisecond, func() { firedAt = c.Now() })
+	head.Cancel()
+	c.RunUntil(Time(15 * time.Millisecond))
+	if firedAt != Time(10*time.Millisecond) {
+		t.Fatalf("live event fired at %v, want 10ms", firedAt)
+	}
+	if c.Now() != Time(15*time.Millisecond) {
+		t.Fatalf("clock = %v, want exactly 15ms after canceled head", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", c.Pending())
+	}
+}
+
+func TestRunUntilEmptyQueueLandsOnT(t *testing.T) {
+	c := NewClock()
+	c.Schedule(time.Millisecond, func() {})
+	c.RunUntil(Time(2 * time.Millisecond))
+	c.RunUntil(Time(7 * time.Millisecond)) // queue now empty
+	if c.Now() != Time(7*time.Millisecond) {
+		t.Fatalf("clock = %v, want exactly 7ms", c.Now())
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	c := NewClock()
+	for i := 0; i < 10; i++ {
+		c.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	canceled := c.Schedule(time.Millisecond, func() {})
+	canceled.Cancel()
+	c.Run()
+	if c.Executed() != 10 {
+		t.Fatalf("Executed = %d, want 10 (canceled events don't count)", c.Executed())
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c := NewClock()
