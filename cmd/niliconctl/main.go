@@ -26,6 +26,9 @@
 //	bench5         BENCH_5.json: simulation-engine event throughput,
 //	               serial clock vs sharded event wheels, as JSON on
 //	               stdout
+//	bench6         BENCH_6.json: externally-visible response latency
+//	               across output-commit disciplines (stop-and-copy,
+//	               pipelined, lease, record/replay), as JSON on stdout
 //	scale-threads  Streamcluster 1..32 threads
 //	scale-clients  Lighttpd 2..128 clients
 //	scale-procs    Lighttpd 1..8 processes
@@ -39,11 +42,12 @@
 // The -pipeline flag enables the overlapped (pipelined) state transfer
 // on experiments that run a replicator (timeline, validate, fig3, ...).
 // The -delta flag enables the delta-compressed replication stream
-// (DeltaPages + BackupPageDedup, DESIGN.md §8) the same way. The -j flag
-// runs sweep-style experiments (chaos -sweep, table1, pipeline, bench,
-// fleetbench) on a worker pool; every seeded run stays single-threaded
-// and results are collected in a fixed order, so output is
-// byte-identical for any -j value.
+// (DeltaPages + BackupPageDedup, DESIGN.md §8) the same way. The -opts
+// replay option set (chaos) runs HyCoR-mode record/replay (DESIGN.md
+// §12). The -j flag runs sweep-style experiments (chaos -sweep, table1,
+// pipeline, bench, fleetbench) on a worker pool; every seeded run stays
+// single-threaded and results are collected in a fixed order, so output
+// is byte-identical for any -j value.
 //
 // All experiments run in virtual time and are fully deterministic for a
 // given -seed.
@@ -52,6 +56,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -62,163 +67,245 @@ import (
 	"nilicon/internal/simtime"
 )
 
-// flags shared across subcommands; parsed once in main.
-var (
-	fs       = flag.NewFlagSet("niliconctl", flag.ExitOnError)
-	seed     = fs.Int64("seed", 1, "deterministic simulation seed")
-	warmup   = fs.Duration("warmup", time.Second, "virtual warmup before measurement")
-	measure  = fs.Duration("measure", 3*time.Second, "virtual measurement window")
-	runs     = fs.Int("runs", 5, "validation runs per benchmark")
-	bench    = fs.String("bench", "redis", "benchmark for the timeline command")
-	runLen   = fs.Duration("runlen", 20*time.Second, "validation run length (paper: 60s, 50 runs)")
-	pipeline = fs.Bool("pipeline", false, "enable the overlapped (pipelined) state transfer")
-	delta    = fs.Bool("delta", false, "enable the delta-compressed replication stream (XOR page deltas, zero elision, backup page dedup)")
-	jobs     = fs.Int("j", 1, "worker-pool width for sweep experiments (output is identical for any value)")
-	seeds    = fs.Int("seeds", 20, "chaos: campaigns per matrix entry in sweep mode")
-	optsName = fs.String("opts", "all", "chaos: option set (basic|stop-and-copy|all|pipelined|delta)")
-	sweep    = fs.Bool("sweep", false, "chaos: run the full matrix sweep instead of one campaign")
-	chaosDur = fs.Duration("chaos-duration", 1500*time.Millisecond, "chaos/fleet: fault-injection window (virtual)")
-	pairs    = fs.Int("pairs", 8, "fleet: protected container pairs")
-	hosts    = fs.Int("hosts", 4, "fleet: worker hosts in the pool")
-	spares   = fs.Int("spares", 2, "fleet: spare hosts for re-protection")
-	kills    = fs.Int("kills", 2, "fleet: concurrent host failures to inject")
-	smoke    = fs.Bool("smoke", false, "fleet: reduced CI shape (4 pairs, 4 hosts, 1 kill, short window)")
-	degrade  = fs.String("degrade", "strict", "chaos/fleet: lease degradation policy (strict|availability)")
-	shards   = fs.Int("shards", 0, "chaos/fleet: simulation engine (0 = serial clock; N>=1 = sharded event wheels with N lanes, trace-identical for any N)")
-)
-
 func main() {
+	os.Exit(newApp(os.Stdout, os.Stderr).run(os.Args[1:]))
+}
+
+// app is one niliconctl invocation: its flag set, parsed values and
+// output streams. Building a fresh app per invocation (instead of
+// package-level flag globals) keeps runs independently testable and
+// lets parse and validation errors return instead of os.Exit-ing from
+// inside the flag package.
+type app struct {
+	fs     *flag.FlagSet
+	stdout io.Writer
+	stderr io.Writer
+
+	seed     *int64
+	warmup   *time.Duration
+	measure  *time.Duration
+	runs     *int
+	bench    *string
+	runLen   *time.Duration
+	pipeline *bool
+	delta    *bool
+	jobs     *int
+	seeds    *int
+	optsName *string
+	sweep    *bool
+	chaosDur *time.Duration
+	pairs    *int
+	hosts    *int
+	spares   *int
+	kills    *int
+	smoke    *bool
+	degrade  *string
+	shards   *int
+
+	degradePol core.DegradePolicy
+}
+
+func newApp(stdout, stderr io.Writer) *app {
+	a := &app{stdout: stdout, stderr: stderr}
+	fs := flag.NewFlagSet("niliconctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	a.fs = fs
+	a.seed = fs.Int64("seed", 1, "deterministic simulation seed")
+	a.warmup = fs.Duration("warmup", time.Second, "virtual warmup before measurement")
+	a.measure = fs.Duration("measure", 3*time.Second, "virtual measurement window")
+	a.runs = fs.Int("runs", 5, "validation runs per benchmark")
+	a.bench = fs.String("bench", "redis", "benchmark for the timeline command")
+	a.runLen = fs.Duration("runlen", 20*time.Second, "validation run length (paper: 60s, 50 runs)")
+	a.pipeline = fs.Bool("pipeline", false, "enable the overlapped (pipelined) state transfer")
+	a.delta = fs.Bool("delta", false, "enable the delta-compressed replication stream (XOR page deltas, zero elision, backup page dedup)")
+	a.jobs = fs.Int("j", 1, "worker-pool width for sweep experiments (output is identical for any value)")
+	a.seeds = fs.Int("seeds", 20, "chaos: campaigns per matrix entry in sweep mode")
+	a.optsName = fs.String("opts", "all", "chaos: option set (basic|stop-and-copy|all|pipelined|delta|replay)")
+	a.sweep = fs.Bool("sweep", false, "chaos: run the full matrix sweep instead of one campaign")
+	a.chaosDur = fs.Duration("chaos-duration", 1500*time.Millisecond, "chaos/fleet: fault-injection window (virtual)")
+	a.pairs = fs.Int("pairs", 8, "fleet: protected container pairs")
+	a.hosts = fs.Int("hosts", 4, "fleet: worker hosts in the pool")
+	a.spares = fs.Int("spares", 2, "fleet: spare hosts for re-protection")
+	a.kills = fs.Int("kills", 2, "fleet: concurrent host failures to inject")
+	a.smoke = fs.Bool("smoke", false, "fleet: reduced CI shape (4 pairs, 4 hosts, 1 kill, short window)")
+	a.degrade = fs.String("degrade", "strict", "chaos/fleet: lease degradation policy (strict|availability)")
+	a.shards = fs.Int("shards", 0, "chaos/fleet: simulation engine (0 = serial clock; N>=1 = sharded event wheels with N lanes, trace-identical for any N)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|bench|chaos|fleet|fleetbench|bench5|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
+		fmt.Fprintf(stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|bench|chaos|fleet|fleetbench|bench5|bench6|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
 		fs.PrintDefaults()
 	}
-	if len(os.Args) < 2 {
-		fs.Usage()
-		os.Exit(2)
-	}
-	cmd := os.Args[1]
-	_ = fs.Parse(os.Args[2:])
+	return a
+}
 
-	harness.Jobs = *jobs
+// run parses and validates one invocation and dispatches it. It returns
+// the process exit code: 0 on success, 2 for usage errors (unknown
+// experiment, unparseable or out-of-range flag values), 1 for
+// experiment failures.
+func (a *app) run(args []string) int {
+	if len(args) < 1 {
+		a.fs.Usage()
+		return 2
+	}
+	cmd := args[0]
+	if !knownCommand(cmd) {
+		fmt.Fprintf(a.stderr, "niliconctl: unknown experiment %q\n", cmd)
+		a.fs.Usage()
+		return 2
+	}
+	if err := a.fs.Parse(args[1:]); err != nil {
+		// The flag package already printed the one-line error (and usage)
+		// to a.stderr.
+		return 2
+	}
+	if err := a.validate(); err != nil {
+		fmt.Fprintf(a.stderr, "niliconctl: %v\n", err)
+		return 2
+	}
+
+	harness.Jobs = *a.jobs
 	harness.Verbose = func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		fmt.Fprintf(a.stderr, format+"\n", args...)
 	}
 
 	if cmd == "all" {
 		for _, name := range []string{"table1", "table2", "fig3", "table6", "validate", "pipeline", "scale-threads", "scale-clients", "scale-procs"} {
-			fmt.Printf("== %s ==\n", name)
-			if err := runCommand(name); err != nil {
-				fail(name, err)
+			fmt.Fprintf(a.stdout, "== %s ==\n", name)
+			if err := a.runCommand(name); err != nil {
+				fmt.Fprintf(a.stderr, "niliconctl %s: %v\n", name, err)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
-	if err := runCommand(cmd); err != nil {
-		fail(cmd, err)
+	if err := a.runCommand(cmd); err != nil {
+		fmt.Fprintf(a.stderr, "niliconctl %s: %v\n", cmd, err)
+		return 1
 	}
+	return 0
 }
 
-// fail reports a subcommand error uniformly on stderr and exits nonzero.
-// Unknown-command errors exit 2 (usage), everything else 1.
-func fail(cmd string, err error) {
-	fmt.Fprintf(os.Stderr, "niliconctl %s: %v\n", cmd, err)
-	if _, ok := err.(unknownCommandError); ok {
-		fs.Usage()
-		os.Exit(2)
+// validate rejects out-of-range or malformed flag values with one-line
+// errors before any experiment starts.
+func (a *app) validate() error {
+	if *a.jobs < 1 {
+		return fmt.Errorf("-j must be >= 1 (got %d)", *a.jobs)
 	}
-	os.Exit(1)
+	if *a.shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (got %d)", *a.shards)
+	}
+	if *a.seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1 (got %d)", *a.seeds)
+	}
+	if *a.runs < 1 {
+		return fmt.Errorf("-runs must be >= 1 (got %d)", *a.runs)
+	}
+	pol, err := core.ParseDegradePolicy(*a.degrade)
+	if err != nil {
+		return fmt.Errorf("-degrade: %v", err)
+	}
+	a.degradePol = pol
+	return nil
 }
 
-type unknownCommandError string
+var commands = []string{
+	"table1", "table2", "fig3", "table6", "validate", "pipeline", "bench",
+	"chaos", "fleet", "fleetbench", "bench5", "bench6",
+	"scale-threads", "scale-clients", "scale-procs", "report", "timeline", "all",
+}
 
-func (e unknownCommandError) Error() string { return fmt.Sprintf("unknown experiment %q", string(e)) }
+func knownCommand(name string) bool {
+	for _, c := range commands {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
 
 // runConfig assembles the shared RunConfig from the parsed flags.
-func runConfig() harness.RunConfig {
-	return harness.RunConfig{Seed: *seed, Warmup: *warmup, Measure: *measure, Pipelined: *pipeline, Delta: *delta}
+func (a *app) runConfig() harness.RunConfig {
+	return harness.RunConfig{Seed: *a.seed, Warmup: *a.warmup, Measure: *a.measure, Pipelined: *a.pipeline, Delta: *a.delta}
 }
 
 // runCommand dispatches one experiment; every branch is a run helper
 // returning an error so exit handling stays in one place.
-func runCommand(name string) error {
+func (a *app) runCommand(name string) error {
 	switch name {
 	case "table1":
-		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunTable1(rc); return tb })
+		return a.runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunTable1(rc); return tb })
 	case "table2":
-		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunTable2(rc); return tb })
+		return a.runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunTable2(rc); return tb })
 	case "fig3":
-		return runFig3()
+		return a.runFig3()
 	case "table6":
-		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunTable6(rc); return tb })
+		return a.runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunTable6(rc); return tb })
 	case "validate":
-		return runValidate()
+		return a.runValidate()
 	case "pipeline":
-		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunPipelineAblation(rc); return tb })
+		return a.runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunPipelineAblation(rc); return tb })
 	case "bench":
-		return runBench()
+		return a.runBench()
 	case "chaos":
-		return runChaos()
+		return a.runChaos()
 	case "fleet":
-		return runFleet()
+		return a.runFleet()
 	case "fleetbench":
-		return runFleetBench()
+		return a.runFleetBench()
 	case "bench5":
-		return runBench5()
+		return a.runBench5()
+	case "bench6":
+		return a.runBench6()
 	case "scale-threads":
-		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunScaleThreads(nil, rc); return tb })
+		return a.runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunScaleThreads(nil, rc); return tb })
 	case "scale-clients":
-		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunScaleClients(nil, rc); return tb })
+		return a.runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunScaleClients(nil, rc); return tb })
 	case "scale-procs":
-		return runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunScaleProcs(nil, rc); return tb })
+		return a.runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunScaleProcs(nil, rc); return tb })
 	case "report":
-		fmt.Println(report.Build(runConfig()))
+		fmt.Fprintln(a.stdout, report.Build(a.runConfig()))
 		return nil
 	case "timeline":
-		return runTimeline()
+		return a.runTimeline()
 	default:
-		return unknownCommandError(name)
+		return fmt.Errorf("unknown experiment %q", name)
 	}
 }
 
 // runTable covers the experiments whose whole output is one table.
-func runTable(f func(harness.RunConfig) fmt.Stringer) error {
-	fmt.Println(f(runConfig()))
+func (a *app) runTable(f func(harness.RunConfig) fmt.Stringer) error {
+	fmt.Fprintln(a.stdout, f(a.runConfig()))
 	return nil
 }
 
-func runFig3() error {
-	rows, tb := harness.RunFigure3(runConfig())
-	fmt.Println(harness.RenderFigure3(rows))
-	fmt.Println(tb)
-	fmt.Println(harness.Table3(rows))
-	fmt.Println(harness.Table4(rows))
-	fmt.Println(harness.Table5(rows))
+func (a *app) runFig3() error {
+	rows, tb := harness.RunFigure3(a.runConfig())
+	fmt.Fprintln(a.stdout, harness.RenderFigure3(rows))
+	fmt.Fprintln(a.stdout, tb)
+	fmt.Fprintln(a.stdout, harness.Table3(rows))
+	fmt.Fprintln(a.stdout, harness.Table4(rows))
+	fmt.Fprintln(a.stdout, harness.Table5(rows))
 	return nil
 }
 
-func runValidate() error {
-	_, tb := harness.RunValidationOpts(nil, *runs, simtime.Duration(*runLen), *seed, *pipeline)
-	fmt.Println(tb)
+func (a *app) runValidate() error {
+	_, tb := harness.RunValidationOpts(nil, *a.runs, simtime.Duration(*a.runLen), *a.seed, *a.pipeline)
+	fmt.Fprintln(a.stdout, tb)
 	return nil
 }
 
-func runBench() error {
-	out, err := harness.RunBench3(runConfig()).JSON()
+func (a *app) runBench() error {
+	out, err := harness.RunBench3(a.runConfig()).JSON()
 	if err != nil {
 		return err
 	}
-	_, err = os.Stdout.Write(out)
+	_, err = a.stdout.Write(out)
 	return err
 }
 
-func runChaos() error {
-	pol, err := core.ParseDegradePolicy(*degrade)
-	if err != nil {
-		return err
-	}
-	if *sweep {
-		results, tb := harness.RunChaosSweepSharded(*seeds, *seed, simtime.Duration(*chaosDur), harness.Jobs, *shards)
-		fmt.Println(tb)
+func (a *app) runChaos() error {
+	if *a.sweep {
+		results, tb := harness.RunChaosSweepSharded(*a.seeds, *a.seed, simtime.Duration(*a.chaosDur), harness.Jobs, *a.shards)
+		fmt.Fprintln(a.stdout, tb)
 		failed := 0
 		for _, res := range results {
 			if !res.Passed {
@@ -232,47 +319,43 @@ func runChaos() error {
 	}
 	var opts *core.OptSet
 	for _, step := range harness.ChaosOptSets() {
-		if step.Name == *optsName {
+		if step.Name == *a.optsName {
 			o := step.Opts
 			opts = &o
 		}
 	}
 	if opts == nil {
-		return fmt.Errorf("unknown option set %q", *optsName)
+		return fmt.Errorf("unknown option set %q", *a.optsName)
 	}
 	res := chaos.VerifySeed(chaos.Config{
-		Seed: *seed, Opts: *opts, OptName: *optsName,
-		Duration: simtime.Duration(*chaosDur),
-		Degrade:  pol,
-		Shards:   *shards,
+		Seed: *a.seed, Opts: *opts, OptName: *a.optsName,
+		Duration: simtime.Duration(*a.chaosDur),
+		Degrade:  a.degradePol,
+		Shards:   *a.shards,
 	})
-	fmt.Print(res.Trace)
+	fmt.Fprint(a.stdout, res.Trace)
 	if !res.Passed {
-		return fmt.Errorf("campaign failed (seed %d, opts %s)", *seed, *optsName)
+		return fmt.Errorf("campaign failed (seed %d, opts %s)", *a.seed, *a.optsName)
 	}
 	return nil
 }
 
-func runFleet() error {
-	pol, err := core.ParseDegradePolicy(*degrade)
-	if err != nil {
-		return err
-	}
+func (a *app) runFleet() error {
 	cfg := chaos.FleetConfig{
-		Seed:    *seed,
+		Seed:    *a.seed,
 		Opts:    core.AllOpts(),
 		OptName: "all",
-		Pairs:   *pairs,
-		Workers: *hosts,
-		Spares:  *spares,
-		Kills:   *kills,
-		Degrade: pol,
-		Shards:  *shards,
+		Pairs:   *a.pairs,
+		Workers: *a.hosts,
+		Spares:  *a.spares,
+		Kills:   *a.kills,
+		Degrade: a.degradePol,
+		Shards:  *a.shards,
 	}
-	if d := simtime.Duration(*chaosDur); d > 0 {
+	if d := simtime.Duration(*a.chaosDur); d > 0 {
 		cfg.Duration = d
 	}
-	if *smoke {
+	if *a.smoke {
 		cfg.Pairs, cfg.Workers, cfg.Spares, cfg.Kills = 4, 4, 1, 1
 		cfg.Duration = 600 * simtime.Millisecond
 	}
@@ -280,10 +363,10 @@ func runFleet() error {
 		return fmt.Errorf("need at least 1 pair and 2 hosts (got -pairs %d -hosts %d)", cfg.Pairs, cfg.Workers)
 	}
 	res := chaos.VerifyFleetSeed(cfg)
-	fmt.Print(res.Trace)
+	fmt.Fprint(a.stdout, res.Trace)
 	for _, v := range res.Verdicts {
 		if v.Oracle == "determinism" {
-			fmt.Printf("verdict determinism %s: %s\n", map[bool]string{true: "PASS", false: "FAIL"}[v.OK], v.Detail)
+			fmt.Fprintf(a.stdout, "verdict determinism %s: %s\n", map[bool]string{true: "PASS", false: "FAIL"}[v.OK], v.Detail)
 		}
 	}
 	if !res.Passed {
@@ -293,34 +376,45 @@ func runFleet() error {
 	return nil
 }
 
-func runFleetBench() error {
-	rep := harness.RunBench4(*seed)
-	fmt.Fprintln(os.Stderr, harness.Bench4Table(rep))
+func (a *app) runFleetBench() error {
+	rep := harness.RunBench4(*a.seed)
+	fmt.Fprintln(a.stderr, harness.Bench4Table(rep))
 	out, err := rep.JSON()
 	if err != nil {
 		return err
 	}
-	_, err = os.Stdout.Write(out)
+	_, err = a.stdout.Write(out)
 	return err
 }
 
-func runBench5() error {
-	rep := harness.RunBench5(*seed)
-	fmt.Fprintln(os.Stderr, harness.Bench5Table(rep))
+func (a *app) runBench5() error {
+	rep := harness.RunBench5(*a.seed)
+	fmt.Fprintln(a.stderr, harness.Bench5Table(rep))
 	out, err := rep.JSON()
 	if err != nil {
 		return err
 	}
-	_, err = os.Stdout.Write(out)
+	_, err = a.stdout.Write(out)
 	return err
 }
 
-func runTimeline() error {
-	csv, err := harness.RunTimeline(*bench, runConfig())
+func (a *app) runBench6() error {
+	rep := harness.RunBench6(*a.seed)
+	fmt.Fprintln(a.stderr, harness.Bench6Table(rep))
+	out, err := rep.JSON()
 	if err != nil {
 		return err
 	}
-	fmt.Print(csv)
+	_, err = a.stdout.Write(out)
+	return err
+}
+
+func (a *app) runTimeline() error {
+	csv, err := harness.RunTimeline(*a.bench, a.runConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(a.stdout, csv)
 	return nil
 }
 

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestUsageErrors: bad invocations must be rejected up front with a
+// clear one-line error on stderr and exit code 2, before any experiment
+// starts (a mistyped sweep flag must not burn minutes of CPU first).
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of stderr
+	}{
+		{"no-args", nil, "usage: niliconctl"},
+		{"unknown-subcommand", []string{"frobnicate"}, `unknown experiment "frobnicate"`},
+		{"subcommand-typo", []string{"chaso"}, `unknown experiment "chaso"`},
+		{"negative-shards", []string{"chaos", "-shards", "-1"}, "-shards must be >= 0"},
+		{"zero-jobs", []string{"chaos", "-j", "0"}, "-j must be >= 1"},
+		{"negative-jobs", []string{"bench", "-j", "-4"}, "-j must be >= 1"},
+		{"zero-seeds", []string{"chaos", "-sweep", "-seeds", "0"}, "-seeds must be >= 1"},
+		{"zero-runs", []string{"validate", "-runs", "0"}, "-runs must be >= 1"},
+		{"degrade-typo", []string{"chaos", "-degrade", "availabilty"}, "-degrade"},
+		{"unparseable-int", []string{"chaos", "-seeds", "abc"}, `invalid value "abc"`},
+		{"unparseable-duration", []string{"chaos", "-chaos-duration", "soon"}, `invalid value "soon"`},
+		{"unknown-flag", []string{"chaos", "-frob"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := newApp(&stdout, &stderr).run(tc.args)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2\nstderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantErr, stderr.String())
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("usage error wrote to stdout: %s", stdout.String())
+			}
+		})
+	}
+}
+
+// TestChaosReplayInvocation runs one short replay-mode campaign through
+// the real CLI entry point: exit 0, trace on stdout, every oracle PASS.
+func TestChaosReplayInvocation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := newApp(&stdout, &stderr).run(
+		[]string{"chaos", "-opts", "replay", "-chaos-duration", "400ms", "-seed", "7"})
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "chaos seed=7 opts=replay") {
+		t.Fatalf("trace header missing:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("campaign verdicts failed:\n%s", out)
+	}
+}

@@ -137,6 +137,7 @@ type campaign struct {
 	recovered   bool
 	recoveredAt simtime.Time
 	failovers   int
+	replays     []*core.ReplayStats
 
 	ocChecks     int
 	ocViolations int
@@ -214,14 +215,27 @@ func (c *campaign) build() {
 		c.app.RestoreState(state)
 		c.app.attach(rc)
 	}
-	cfg.OnRecovered = func(rc core.RestoredContainer, stats core.RecoveryStats) {
-		c.recovered = true
-		c.recoveredAt = c.clock.Now()
-		c.failovers++
-		c.eventf("recovered epoch=%d detect=%d", stats.CommittedEpoch, int64(stats.DetectedAt))
-	}
+	cfg.OnRecovered = c.onRecovered
 	c.repl = core.NewReplicator(c.cl, c.ctr, cfg)
 	c.repl.Timeline = c.timeline
+}
+
+// onRecovered records a completed failover. In replay mode every
+// recovery carries replay stats; the replay-divergence verdict in
+// finish checks them against the recorded egress digests.
+func (c *campaign) onRecovered(rc core.RestoredContainer, stats core.RecoveryStats) {
+	c.recovered = true
+	c.recoveredAt = c.clock.Now()
+	c.failovers++
+	c.eventf("recovered epoch=%d detect=%d", stats.CommittedEpoch, int64(stats.DetectedAt))
+	if c.cfg.Opts.RecordReplay {
+		c.replays = append(c.replays, stats.Replay)
+		if stats.Replay != nil {
+			r := stats.Replay
+			c.eventf("replay from=%d through=%d segments=%d events=%d bytes=%d diverged=%v",
+				r.From, r.Through, r.Segments, r.Events, r.Bytes, r.Diverged)
+		}
+	}
 }
 
 func (c *campaign) eventf(format string, args ...any) {
@@ -457,12 +471,7 @@ func (c *campaign) reprotectCycle() {
 		c.app.RestoreState(state)
 		c.app.attach(rc)
 	}
-	cfg2.OnRecovered = func(rc core.RestoredContainer, stats core.RecoveryStats) {
-		c.recovered = true
-		c.recoveredAt = c.clock.Now()
-		c.failovers++
-		c.eventf("recovered epoch=%d detect=%d", stats.CommittedEpoch, int64(stats.DetectedAt))
-	}
+	cfg2.OnRecovered = c.onRecovered
 	_, repl2, err := core.Reprotect(c.cl, restored, cfg2)
 	if err != nil {
 		c.verdicts = append(c.verdicts, Verdict{Oracle: "convergence", OK: false,
@@ -586,6 +595,28 @@ func (c *campaign) finish() Result {
 		OK:     c.svViolations == 0,
 		Detail: fmt.Sprintf("%d samples, %d dual-serving instants %s", c.svChecks, c.svViolations, c.svDetail),
 	}}, c.verdicts...)
+
+	if c.cfg.Opts.RecordReplay && c.failovers > 0 {
+		ok := true
+		detail := fmt.Sprintf("%d failovers, all replayed to recorded egress digests", c.failovers)
+		if len(c.replays) != c.failovers {
+			ok = false
+			detail = fmt.Sprintf("%d failovers but %d replay records", c.failovers, len(c.replays))
+		}
+		for i, r := range c.replays {
+			if r == nil {
+				ok = false
+				detail = fmt.Sprintf("failover %d produced no replay stats", i+1)
+				break
+			}
+			if r.Diverged {
+				ok = false
+				detail = fmt.Sprintf("failover %d diverged at segment %d", i+1, r.DivergedSeq)
+				break
+			}
+		}
+		c.verdicts = append(c.verdicts, Verdict{Oracle: "replay-divergence", OK: ok, Detail: detail})
+	}
 
 	res := Result{
 		Seed:        c.cfg.Seed,

@@ -495,6 +495,30 @@ func (c *fleetCampaign) finish() Result {
 		epochs += pr.Repl.Epochs()
 		failovers += pr.Failovers
 	}
+	// Replay-divergence oracle at host granularity: every pair that
+	// failed over under the record/replay configuration must have
+	// replayed its committed log suffix back to the recorded egress
+	// digests (the control plane keeps the last recovery's stats).
+	if c.cfg.Opts.RecordReplay && failovers > 0 {
+		ok := true
+		detail := fmt.Sprintf("%d failovers, all replayed to recorded egress digests", failovers)
+		for _, pr := range c.fleet.Pairs {
+			if pr.Failovers == 0 {
+				continue
+			}
+			if pr.LastFailover == nil || pr.LastFailover.Replay == nil {
+				ok = false
+				detail = fmt.Sprintf("pair %s failed over without replay stats", pr.ID)
+				break
+			}
+			if r := pr.LastFailover.Replay; r.Diverged {
+				ok = false
+				detail = fmt.Sprintf("pair %s diverged at segment %d", pr.ID, r.DivergedSeq)
+				break
+			}
+		}
+		c.verdicts = append(c.verdicts, Verdict{Oracle: "replay-divergence", OK: ok, Detail: detail})
+	}
 	for _, h := range c.fleet.Hosts {
 		drops += h.NIC.Drops()
 	}

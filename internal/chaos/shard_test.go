@@ -99,3 +99,47 @@ func TestShardParityFleetHostKill(t *testing.T) {
 		})
 	}
 }
+
+// TestShardParityReplay extends the parity guarantee to HyCoR-mode
+// record/replay campaigns: the recorder's segment seals, the log flow's
+// transfer scheduling, the failover-time replay and its divergence
+// verdict must all be lane-count invariant. The kill terminals force a
+// real failover, so the replay driver itself runs inside the diffed
+// trace; the replay-divergence verdict is part of the trace bytes, so
+// identical traces imply identical verdicts at every lane count.
+func TestShardParityReplay(t *testing.T) {
+	for _, seed := range []int64{1, 3, 9} {
+		for _, terminal := range []string{TerminalKill, TerminalNone} {
+			assertParity(t, "replay/"+terminal, func(shards int) Result {
+				return Run(Config{
+					Seed:     seed,
+					Opts:     core.ReplayOpts(),
+					OptName:  "replay",
+					Terminal: terminal,
+					Duration: 900 * simtime.Millisecond,
+					Shards:   shards,
+				})
+			})
+		}
+	}
+	// The scripted partition-heal geometry under replay: a mid-partition
+	// promotion replays the committed suffix while the fenced old
+	// primary parks log-ack releases.
+	assertParity(t, "replay/splitbrain", func(shards int) Result {
+		return RunSplitBrain(SplitBrainConfig{
+			Seed: 2, Scenario: ScenarioPartitionHeal, Degrade: core.StrictSafety,
+			Replay: true, Shards: shards,
+		})
+	})
+	// Fleet host-kill under replay: several pairs fail over at once and
+	// each must replay on its own host's lane.
+	assertParity(t, "replay/fleet", func(shards int) Result {
+		return RunFleet(FleetConfig{
+			Seed:     4,
+			Opts:     core.ReplayOpts(),
+			OptName:  "fleet-replay",
+			Duration: 500 * simtime.Millisecond,
+			Shards:   shards,
+		})
+	})
+}

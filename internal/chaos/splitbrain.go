@@ -49,6 +49,10 @@ type SplitBrainConfig struct {
 	// PreLease disables the lease, reproducing the pre-lease detector
 	// (the regression configuration; expected to fail partition-heal).
 	PreLease bool
+	// Replay runs the scenario under the HyCoR-mode record/replay
+	// configuration (core.ReplayOpts) instead of core.AllOpts, so the
+	// scripted lease geometries also exercise log-commit-gated release.
+	Replay bool
 	// Shards selects the simulation engine (see Config.Shards).
 	Shards int
 }
@@ -77,6 +81,10 @@ func RunSplitBrain(sb SplitBrainConfig) Result {
 		PreLease: sb.PreLease,
 		Degrade:  sb.Degrade,
 		Shards:   sb.Shards,
+	}
+	if sb.Replay {
+		cfg.Opts = core.ReplayOpts()
+		cfg.OptName = "replay"
 	}
 	c := &campaign{cfg: cfg}
 	switch sb.Scenario {
@@ -216,12 +224,7 @@ func (c *campaign) reprotectUnprotected() {
 		c.app.RestoreState(state)
 		c.app.attach(rc)
 	}
-	cfg.OnRecovered = func(rc core.RestoredContainer, stats core.RecoveryStats) {
-		c.recovered = true
-		c.recoveredAt = c.clock.Now()
-		c.failovers++
-		c.eventf("recovered epoch=%d detect=%d", stats.CommittedEpoch, int64(stats.DetectedAt))
-	}
+	cfg.OnRecovered = c.onRecovered
 	repl, err := core.ReprotectOnto(view, c.ctr, c.cl.Primary.Disk, cfg)
 	if err != nil {
 		c.verdicts = append(c.verdicts, Verdict{Oracle: "convergence", OK: false,

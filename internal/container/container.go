@@ -107,6 +107,12 @@ type Container struct {
 	frozenAt simtime.Time
 	stopped  bool
 
+	// OnTaskStep, when set, observes every executed scheduling quantum
+	// (the task's thread TID). The record/replay recorder folds the
+	// sequence into a per-segment scheduling digest so failover replay
+	// can detect divergence in scheduling decisions, not just in output.
+	OnTaskStep func(tid int)
+
 	// RuntimeOverhead accumulates dirty-tracking cost folded into task
 	// execution since creation.
 	RuntimeOverhead simtime.Duration
@@ -195,6 +201,9 @@ func (c *Container) runTask(t *Task) {
 	}
 	if t.Thread.State != simkernel.ThreadRunning {
 		return
+	}
+	if c.OnTaskStep != nil {
+		c.OnTaskStep(t.Thread.TID)
 	}
 	busy, next := t.Step()
 	// Fold the runtime dirty-tracking overhead into execution time.

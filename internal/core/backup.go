@@ -63,6 +63,9 @@ type RecoveryStats struct {
 	NetworkLiveAt simtime.Time
 	// CommittedEpoch is the checkpoint recovered to.
 	CommittedEpoch uint64
+	// Replay reports the deterministic replay of the committed
+	// nondeterminism-log suffix (nil unless Opts.RecordReplay).
+	Replay *ReplayStats
 }
 
 // BackupAgent receives checkpoints, buffers them in memory (NiLiCon
@@ -94,6 +97,14 @@ type BackupAgent struct {
 	resyncRequested bool
 
 	pending map[uint64]*criu.Image
+
+	// Nondeterminism log (Opts.RecordReplay; replay.go): logSegs buffers
+	// received segments by sequence, logContig is the highest
+	// contiguously received (and therefore committable) sequence, and
+	// logAckSent the highest cumulative acknowledgment sent.
+	logSegs    map[uint64]*criu.LogSegment
+	logContig  uint64
+	logAckSent uint64
 
 	lastHeartbeat simtime.Time
 	detector      *simtime.Ticker
@@ -137,6 +148,7 @@ func newBackupAgent(cl *Cluster, cfg Config, r *Replicator) *BackupAgent {
 		fsPages:  make(map[fsPageKey]simfs.PageEntry),
 		fsInodes: make(map[int]simfs.InodeEntry),
 		pending:  make(map[uint64]*criu.Image),
+		logSegs:  make(map[uint64]*criu.LogSegment),
 	}
 	if cfg.Opts.OptimizeCRIU {
 		b.store = criu.NewRadixStore()
@@ -229,6 +241,12 @@ func (b *BackupAgent) checkHeartbeat() {
 		// The NACK (or the baseline it asked for) may itself have been
 		// lost; keep asking until a baseline commits.
 		b.sendResync()
+	}
+	if b.cfg.Opts.RecordReplay {
+		// Re-send the cumulative log acknowledgment: an ack lost on a
+		// flapping link must not leave committed-but-unflushed output
+		// parked at the primary until the next segment arrives.
+		b.resendLogAck()
 	}
 	if stale {
 		b.Recover()
@@ -438,6 +456,13 @@ func (b *BackupAgent) commit(epoch uint64, img *criu.Image) error {
 		panic("core: disk commit failed: " + err.Error())
 	}
 
+	if b.cfg.Opts.RecordReplay {
+		// The checkpoint contains the effects of every segment sealed
+		// before its freeze: truncate them from the replay buffer and
+		// advance the contiguity watermark across any gap they covered.
+		b.truncateLog(img.LogSeqThrough)
+	}
+
 	// Backup CPU accounting (Table V).
 	cost := backupCopyCost(pageBytes + sockBytes)
 	cost += backupReadSyscall * simtime.Duration(1+pageBytes/pageChunkBytes)
@@ -582,22 +607,39 @@ func (b *BackupAgent) doRecover() {
 
 	b.cl.Clock.Schedule(stats.Other+restoreCost, func() {
 		ctr.Thaw()
-		criu.FinishNetworkRestore(ctr, b.cfg.Opts.RepairRTOPatch, func() {
-			stats.NetworkLiveAt = b.cl.Clock.Now()
-			b.networkLive = true
-			b.startSupersedeBeacon()
-			rto := ctr.Stack.RTOMin
-			if !b.cfg.Opts.RepairRTOPatch {
-				rto = ctr.Stack.RTOInitial
+		finish := func() {
+			criu.FinishNetworkRestore(ctr, b.cfg.Opts.RepairRTOPatch, func() {
+				stats.NetworkLiveAt = b.cl.Clock.Now()
+				b.networkLive = true
+				b.startSupersedeBeacon()
+				rto := ctr.Stack.RTOMin
+				if !b.cfg.Opts.RepairRTOPatch {
+					rto = ctr.Stack.RTOInitial
+				}
+				elapsed := stats.NetworkLiveAt.Sub(sockRestoredAt)
+				if remaining := rto - elapsed; remaining > 0 {
+					stats.TCP = remaining
+				}
+				if b.cfg.OnRecovered != nil {
+					b.cfg.OnRecovered(ctr, *stats)
+				}
+			})
+		}
+		if b.cfg.Opts.RecordReplay {
+			// Replay the committed log suffix before the network comes up:
+			// the regenerated send-queue contents must be in place when the
+			// sockets leave repair mode, and the replay's CPU cost delays
+			// network-live honestly.
+			m := b.cl.Backup.Kernel.StartMeter()
+			rs := b.replayLog(ctr)
+			rs.Cost = m.Stop()
+			stats.Replay = rs
+			if rs.Cost > 0 {
+				b.cl.Clock.Schedule(rs.Cost, finish)
+				return
 			}
-			elapsed := stats.NetworkLiveAt.Sub(sockRestoredAt)
-			if remaining := rto - elapsed; remaining > 0 {
-				stats.TCP = remaining
-			}
-			if b.cfg.OnRecovered != nil {
-				b.cfg.OnRecovered(ctr, *stats)
-			}
-		})
+		}
+		finish()
 	})
 }
 

@@ -265,6 +265,11 @@ func (r *Replicator) unfence() {
 		r.hasParkedDirect = false
 		r.releaseDirect(e)
 	}
+	if r.rec != nil && r.rec.hasParked {
+		seq := r.rec.parked
+		r.rec.hasParked = false
+		r.rec.releaseThrough(seq)
+	}
 }
 
 // releaseAuthorized gates every output-release path. With the lease
@@ -275,9 +280,13 @@ func (r *Replicator) releaseAuthorized() bool {
 }
 
 // releaseDirect flushes buffered output through epoch e outside the
-// pipeline (the post-failover generation-crossing ack path).
+// pipeline (the post-failover generation-crossing ack path). In
+// record/replay mode the qdisc is keyed by log segment, so only the
+// epoch watermark advances here.
 func (r *Replicator) releaseDirect(e uint64) {
-	r.Ctr.Qdisc.Release(e)
+	if r.rec == nil {
+		r.Ctr.Qdisc.Release(e)
+	}
 	if !r.hasReleased || e > r.released {
 		r.released = e
 		r.hasReleased = true
@@ -317,6 +326,7 @@ func (r *Replicator) declareUnprotected() {
 	_ = r.Cluster.DRBDPrimary.Detach()
 	r.Cluster.Xfer.CancelFlow(r.Ctr.ID)
 	r.Cluster.Xfer.CancelFlow(r.Ctr.ID + "/resync")
+	r.Cluster.Xfer.CancelFlow(r.Ctr.ID + "/log")
 }
 
 // supersededSeen handles the promoted backup's supersede notice on the
@@ -412,6 +422,9 @@ func (b *BackupAgent) resumeAfterAbortedPromotion() {
 	sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
 	for _, e := range eps {
 		b.tryAck(e)
+	}
+	if b.cfg.Opts.RecordReplay {
+		b.ackLog()
 	}
 }
 

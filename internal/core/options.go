@@ -60,6 +60,18 @@ type OptSet struct {
 	// never apply against a stale base. Beyond the Table I ladder; not
 	// part of AllOpts.
 	DeltaPages bool
+	// RecordReplay enables HyCoR-mode record/replay (DESIGN.md §12): the
+	// primary records all nondeterminism between checkpoints — network
+	// input arrival order and payloads, getrandom results, a scheduling
+	// digest — into small log segments streamed to the backup next to
+	// page traffic, and output release gates on log-segment commit
+	// (microseconds of data) instead of epoch page-transfer commit. On
+	// failover the backup restores the last committed checkpoint and
+	// deterministically replays the committed log suffix. Composes with
+	// the lease layer unchanged: a fenced primary parks segment releases
+	// exactly as it parks epoch releases. Beyond the Table I ladder; not
+	// part of AllOpts.
+	RecordReplay bool
 	// BackupPageDedup tags every encoded frame with an FNV-1a content
 	// hash and ships an identical page (across VMAs and processes) as a
 	// reference to the committed donor's store key; the backup's radix
@@ -103,6 +115,16 @@ func DeltaOpts() OptSet {
 	o := AllOpts()
 	o.DeltaPages = true
 	o.BackupPageDedup = true
+	return o
+}
+
+// ReplayOpts returns the pipelined configuration plus HyCoR-mode
+// record/replay: output release gated on nondeterminism-log commit
+// rather than epoch page-transfer commit, with deterministic replay of
+// the committed log suffix on failover.
+func ReplayOpts() OptSet {
+	o := PipelinedOpts()
+	o.RecordReplay = true
 	return o
 }
 

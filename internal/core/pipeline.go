@@ -168,9 +168,17 @@ func (run *epochRun) freezeCollect() {
 	cl.DRBDPrimary.Barrier(run.epoch)
 	cl.DRBDPrimary.SetEpoch(run.epoch + 1)
 
-	// Buffered output generated during this epoch is released only when
-	// the backup acknowledges this checkpoint.
-	r.Ctr.Qdisc.Rotate(run.epoch)
+	if r.rec != nil {
+		// Record/replay mode: the qdisc's egress buffers are keyed by log
+		// segment, not epoch — output releases on segment commit. The
+		// freeze point seals the open segment and stamps the checkpoint
+		// with the log watermark it implicitly commits (replay.go).
+		img.LogSeqThrough = r.rec.epochBoundary(run.epoch)
+	} else {
+		// Buffered output generated during this epoch is released only
+		// when the backup acknowledges this checkpoint.
+		r.Ctr.Qdisc.Rotate(run.epoch)
+	}
 
 	if resync {
 		// The DRBD writes of the lost epochs never reached the backup, so
@@ -336,7 +344,11 @@ func (run *epochRun) releaseOutput() {
 // allow it.
 func (run *epochRun) finishRelease(now simtime.Time) {
 	r := run.r
-	r.Ctr.Qdisc.Release(run.epoch)
+	if r.rec == nil {
+		// In record/replay mode the qdisc is keyed (and flushed) by log
+		// segment; the epoch pipeline only advances the commit watermark.
+		r.Ctr.Qdisc.Release(run.epoch)
+	}
 	if !r.hasReleased || run.epoch > r.released {
 		r.released = run.epoch
 		r.hasReleased = true

@@ -126,6 +126,16 @@ type Replicator struct {
 	SelfFences metrics.Counter
 	// Unprotects counts Availability-policy unprotected declarations.
 	Unprotects metrics.Counter
+
+	// rec is the nondeterminism recorder (nil unless Opts.RecordReplay;
+	// replay.go, DESIGN.md §12).
+	rec *recorder
+	// LogSegments / LogEvents / LogWireBytes count the sealed
+	// nondeterminism-log segments, their recorded events, and their
+	// bytes on the replication link; LogCommitLatency samples seal →
+	// backup-ack latency per segment (seconds).
+	LogSegments, LogEvents, LogWireBytes metrics.Counter
+	LogCommitLatency                     metrics.Stream
 }
 
 // NewReplicator wires a replicator for the given protected container.
@@ -149,6 +159,9 @@ func NewReplicator(cl *Cluster, ctr *container.Container, cfg Config) *Replicato
 	if cfg.Opts.DeltaPages || cfg.Opts.BackupPageDedup {
 		r.encoder = criu.NewDeltaEncoder(cfg.Opts.DeltaPages, cfg.Opts.BackupPageDedup)
 	}
+	if cfg.Opts.RecordReplay {
+		r.rec = newRecorder(r)
+	}
 	r.Backup = newBackupAgent(cl, cfg, r)
 	return r
 }
@@ -170,6 +183,11 @@ func (r *Replicator) Start() {
 	}
 	if r.Cfg.KeepAlive {
 		r.Ctr.StartKeepAlive(r.Cfg.HeartbeatInterval)
+	}
+	if r.rec != nil {
+		// Install after the keep-alive process exists so recorded process
+		// indexes match the checkpoint image's process order.
+		r.rec.install()
 	}
 	r.Cluster.DRBDPrimary.SetEpoch(0)
 
@@ -197,6 +215,9 @@ func (r *Replicator) Stop() {
 	r.inflight = make(map[uint64]*epochRun)
 	r.parked = nil
 	r.hasParkedDirect = false
+	if r.rec != nil {
+		r.rec.uninstall()
+	}
 	r.Backup.stop()
 	r.Ctr.Qdisc.SetReplicating(false)
 	r.engine.Close()
@@ -259,6 +280,11 @@ func (r *Replicator) ackReceived(e uint64) {
 	}
 	if r.resyncPendingB && e >= r.resyncPending {
 		r.resyncPendingB = false
+	}
+	if r.rec != nil {
+		// A committed checkpoint implicitly commits every log segment
+		// sealed before its freeze (replay.go).
+		r.rec.epochAcked(e)
 	}
 	var covered []uint64
 	for ep := range r.inflight {
@@ -366,6 +392,10 @@ func (r *Replicator) ResetMeasurement() {
 	r.DeltaFrames = metrics.Counter{}
 	r.ZeroFrames = metrics.Counter{}
 	r.DedupFrames = metrics.Counter{}
+	r.LogSegments = metrics.Counter{}
+	r.LogEvents = metrics.Counter{}
+	r.LogWireBytes = metrics.Counter{}
+	r.LogCommitLatency = metrics.Stream{}
 }
 
 // DeltaHitRate returns the fraction of transferred pages that shipped
@@ -424,6 +454,7 @@ func (r *Replicator) FenceBackup() {
 	_ = r.Cluster.DRBDPrimary.Detach()
 	r.Cluster.Xfer.CancelFlow(r.Ctr.ID)
 	r.Cluster.Xfer.CancelFlow(r.Ctr.ID + "/resync")
+	r.Cluster.Xfer.CancelFlow(r.Ctr.ID + "/log")
 	if r.Cfg.Lease.Enabled {
 		// Control-plane-sanctioned unprotected operation: the backup is
 		// verifiably dead, so releasing without a lease is safe.

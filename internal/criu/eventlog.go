@@ -1,0 +1,116 @@
+package criu
+
+// Nondeterminism event log (HyCoR mode, DESIGN.md §12). Between
+// checkpoints the primary records every source of nondeterminism the
+// simulation owns — network input arrival order and payloads, sim-syscall
+// results (getrandom), and a digest of scheduling decisions — into an
+// append-only log cut into small segments. Segments stream to the backup
+// over the replication link next to (and scheduled fairly against) page
+// traffic; output release gates on segment commit, which is microseconds
+// of data, instead of epoch page-transfer commit. On failover the backup
+// restores the last committed checkpoint and re-executes the committed
+// log suffix; the per-segment output digest is the divergence oracle.
+
+import (
+	"nilicon/internal/simnet"
+)
+
+// LogEventKind classifies one recorded nondeterministic event.
+type LogEventKind uint8
+
+// Log event kinds.
+const (
+	// LogIngress is one network packet delivered to the container's
+	// stack (payload and arrival order).
+	LogIngress LogEventKind = iota
+	// LogRandom is one getrandom(2) sim-syscall result.
+	LogRandom
+)
+
+// LogEvent is one recorded nondeterministic event.
+type LogEvent struct {
+	Kind LogEventKind
+	// Packet is the delivered frame (LogIngress).
+	Packet simnet.Packet
+	// ProcIndex identifies the drawing process by its position in the
+	// container's process list — stable across restore, unlike PIDs
+	// (LogRandom).
+	ProcIndex int
+	// Value is the recorded sim-syscall result (LogRandom).
+	Value uint64
+}
+
+// wireBytes models the event's size on the replication link.
+func (e *LogEvent) wireBytes() int64 {
+	switch e.Kind {
+	case LogIngress:
+		return 8 + int64(e.Packet.Len())
+	default:
+		return 16
+	}
+}
+
+// LogSegment is one sealed slice of the nondeterminism log. Segments are
+// sealed on a short coalescing delay after the first event and at every
+// epoch boundary, so Seq is globally monotone and Epoch is nondecreasing
+// in Seq. A segment is tiny next to a checkpoint — the whole point: its
+// commit latency is link latency plus microseconds of serialization.
+type LogSegment struct {
+	// Seq is the global segment sequence number (1-based).
+	Seq uint64
+	// Epoch is the checkpoint that will contain this segment's effects:
+	// events recorded after freeze(e-1) and before freeze(e) carry e.
+	Epoch uint64
+	// Events holds the recorded events in occurrence order.
+	Events []LogEvent
+	// EgressDigest is an FNV-1a digest of the application-level bytes
+	// the container sent while this segment was open, and EgressBytes
+	// their count. Handlers run synchronously on input delivery, so
+	// replaying this segment's events must reproduce this digest
+	// exactly — the replay-divergence oracle.
+	EgressDigest uint64
+	EgressBytes  int64
+	// SchedDigest folds the scheduling-quantum sequence (thread TIDs)
+	// executed while the segment was open; SchedSteps counts them.
+	// Informational: output correctness is carried by EgressDigest, the
+	// scheduling digest localizes divergence when it happens.
+	SchedDigest uint64
+	SchedSteps  uint64
+}
+
+// WireBytes models the segment's transfer size on the replication link.
+func (s *LogSegment) WireBytes() int64 {
+	n := int64(64) // segment header: seq, epoch, digests, counts
+	for i := range s.Events {
+		n += s.Events[i].wireBytes()
+	}
+	return n
+}
+
+// FNV-1a 64-bit, the digest primitive for egress and scheduling streams.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// DigestInit returns the digest seed value.
+func DigestInit() uint64 { return fnvOffset64 }
+
+// DigestBytes folds data into an FNV-1a digest.
+func DigestBytes(h uint64, data []byte) uint64 {
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// DigestUint64 folds one 64-bit value into an FNV-1a digest.
+func DigestUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}

@@ -88,6 +88,14 @@ type Image struct {
 
 	// AppState is the workload's user-space state snapshot.
 	AppState any
+
+	// LogSeqThrough is the highest nondeterminism-log segment sequence
+	// sealed before this checkpoint's freeze (HyCoR mode, DESIGN.md §12).
+	// Every record in segments ≤ LogSeqThrough describes execution the
+	// checkpoint already contains, so committing this image implicitly
+	// commits those segments — even ones lost on the wire — and lets the
+	// backup truncate its log to segments newer than the checkpoint.
+	LogSeqThrough uint64
 }
 
 // DirtyPages returns the number of memory pages in the image.

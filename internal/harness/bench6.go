@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"nilicon/internal/chaos"
+	"nilicon/internal/core"
+	"nilicon/internal/metrics"
+	"nilicon/internal/simtime"
+)
+
+// BENCH_6 measures what the output-commit discipline costs the client:
+// the externally-visible SET→OK response latency of the kv workload in
+// fault-free steady state, across the four release-gating disciplines.
+// Stop-and-copy and pipelined gate release on epoch page-transfer
+// commit, so every reply waits out the epoch tail; the lease row adds
+// grant arbitration on the same epoch gate; the record/replay row
+// (DESIGN.md §12) gates on nondeterminism-log-segment commit, so a
+// reply waits only for a ~hundred-byte segment to cross the link and be
+// acknowledged.
+
+// Bench6Row is one output-commit discipline of the BENCH_6 sweep.
+type Bench6Row struct {
+	Config string `json:"config"`
+	Lease  bool   `json:"lease"`
+	// Sent / Acked are the SETs issued and the OK replies received
+	// inside the measured window (plus settle).
+	Sent  int `json:"sent"`
+	Acked int `json:"acked"`
+	// Epochs is how many checkpoints the run committed.
+	Epochs uint64 `json:"epochs"`
+	// Response-latency percentiles, milliseconds of virtual time.
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Bench6Report is the committed BENCH_6.json document.
+type Bench6Report struct {
+	Benchmark  string      `json:"benchmark"`
+	Seed       int64       `json:"seed"`
+	DurationMs int64       `json:"duration_ms"`
+	Rows       []Bench6Row `json:"rows"`
+}
+
+const bench6Duration = 2 * simtime.Second
+
+type bench6Config struct {
+	name  string
+	opts  core.OptSet
+	lease bool
+}
+
+func bench6Configs() []bench6Config {
+	stopcopy := core.AllOpts()
+	stopcopy.StagingBuffer = false
+	return []bench6Config{
+		{name: "stop-and-copy", opts: stopcopy},
+		{name: "pipelined", opts: core.PipelinedOpts()},
+		{name: "lease", opts: core.PipelinedOpts(), lease: true},
+		{name: "replay", opts: core.ReplayOpts(), lease: true},
+	}
+}
+
+// RunBench6 runs the latency probe once per discipline on the harness
+// worker pool (Jobs); each probe is a single-threaded seeded DES run
+// and rows are collected in order, so the report is byte-identical for
+// any jobs value.
+func RunBench6(seed int64) Bench6Report {
+	cfgs := bench6Configs()
+	rows := make([]Bench6Row, len(cfgs))
+	runIndexed(len(cfgs), Jobs,
+		func(i int) {
+			c := cfgs[i]
+			r := chaos.RunLatency(chaos.LatencyConfig{
+				Seed: seed, Opts: c.opts, OptName: c.name,
+				Lease: c.lease, Duration: bench6Duration,
+			})
+			rows[i] = Bench6Row{
+				Config: c.name, Lease: c.lease,
+				Sent: r.Sent, Acked: r.Acked, Epochs: r.Epochs,
+				P50Ms: r.P50, P99Ms: r.P99, MeanMs: r.Mean, MaxMs: r.Max,
+			}
+		},
+		func(i int) {
+			progressf("bench6: %s p50=%.3fms p99=%.3fms", rows[i].Config, rows[i].P50Ms, rows[i].P99Ms)
+		})
+	return Bench6Report{
+		Benchmark:  "response-latency",
+		Seed:       seed,
+		DurationMs: int64(bench6Duration / simtime.Millisecond),
+		Rows:       rows,
+	}
+}
+
+// JSON renders the report with stable formatting for committing.
+func (r Bench6Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Bench6Table renders the report as a human-readable table.
+func Bench6Table(r Bench6Report) *metrics.Table {
+	tb := metrics.NewTable(
+		fmt.Sprintf("BENCH_6: client response latency by output-commit discipline (%dms window)", r.DurationMs),
+		"Config", "Lease", "Sent", "Acked", "Epochs", "P50", "P99", "Mean", "Max")
+	for _, row := range r.Rows {
+		lease := "off"
+		if row.Lease {
+			lease = "on"
+		}
+		tb.AddRow(row.Config, lease,
+			fmt.Sprintf("%d", row.Sent),
+			fmt.Sprintf("%d", row.Acked),
+			fmt.Sprintf("%d", row.Epochs),
+			fmt.Sprintf("%.3fms", row.P50Ms),
+			fmt.Sprintf("%.3fms", row.P99Ms),
+			fmt.Sprintf("%.3fms", row.MeanMs),
+			fmt.Sprintf("%.3fms", row.MaxMs))
+	}
+	return tb
+}

@@ -13,9 +13,11 @@ import (
 
 // ChaosOptSets is the configuration matrix the chaos sweep runs against:
 // the unoptimized baseline, the serialized stop-and-copy graph with
-// buffered input, the fully optimized set, the overlapped transfer, and
-// the delta-compressed wire format (whose campaigns force delta ↔
-// full-resync transitions at every injected outage).
+// buffered input, the fully optimized set, the overlapped transfer, the
+// delta-compressed wire format (whose campaigns force delta ↔
+// full-resync transitions at every injected outage), and the HyCoR-mode
+// record/replay configuration (whose failover campaigns replay the
+// committed log suffix and check the replay-divergence oracle).
 func ChaosOptSets() []core.LadderStep {
 	stopcopy := core.AllOpts()
 	stopcopy.StagingBuffer = false
@@ -25,6 +27,7 @@ func ChaosOptSets() []core.LadderStep {
 		{Name: "all", Opts: core.AllOpts()},
 		{Name: "pipelined", Opts: core.PipelinedOpts()},
 		{Name: "delta", Opts: core.DeltaOpts()},
+		{Name: "replay", Opts: core.ReplayOpts()},
 	}
 }
 
@@ -94,6 +97,13 @@ func RunChaosSweepSharded(seeds int, base int64, duration simtime.Duration, jobs
 	for s := int64(0); s < int64(seeds); s++ {
 		campaigns = append(campaigns, campaign{name: "splitbrain-ackout", seed: base + s,
 			sb: &chaos.SplitBrainConfig{Scenario: chaos.ScenarioAckOutage, Degrade: core.Availability}})
+	}
+	// The partition-heal geometry again under record/replay: the
+	// mid-partition promotion must replay the committed log suffix and
+	// the healed old primary's parked log-ack releases must flush safely.
+	for s := int64(0); s < int64(seeds); s++ {
+		campaigns = append(campaigns, campaign{name: "splitbrain-replay", seed: base + s,
+			sb: &chaos.SplitBrainConfig{Scenario: chaos.ScenarioPartitionHeal, Degrade: core.StrictSafety, Replay: true}})
 	}
 	for _, sc := range FleetScenarios() {
 		sc := sc

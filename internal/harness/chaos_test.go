@@ -13,9 +13,9 @@ import (
 // every campaign must pass every oracle and the summary table must carry
 // one row per option set.
 func TestChaosSweepSmall(t *testing.T) {
-	// Option sets, plus the asymmetric-fault and two scripted split-brain
-	// lease blocks, plus the fleet scenarios.
-	entries := len(ChaosOptSets()) + 3 + len(FleetScenarios())
+	// Option sets, plus the asymmetric-fault and three scripted
+	// split-brain lease blocks, plus the fleet scenarios.
+	entries := len(ChaosOptSets()) + 4 + len(FleetScenarios())
 	results, tb := RunChaosSweep(2, 21, 800*simtime.Millisecond)
 	if len(results) != 2*entries {
 		t.Fatalf("results = %d, want %d", len(results), 2*entries)
@@ -38,7 +38,7 @@ func TestChaosSweepSmall(t *testing.T) {
 			t.Fatalf("summary table missing option set %q:\n%s", step.Name, tb)
 		}
 	}
-	for _, name := range []string{"asym", "splitbrain-partition", "splitbrain-ackout"} {
+	for _, name := range []string{"asym", "splitbrain-partition", "splitbrain-ackout", "splitbrain-replay"} {
 		if !strings.Contains(tb.String(), name) {
 			t.Fatalf("summary table missing lease matrix entry %q:\n%s", name, tb)
 		}

@@ -149,6 +149,12 @@ type Table struct {
 	Headers []string
 	rows    [][]string
 	keys    map[string]bool
+	keyed   []keyedRow
+}
+
+type keyedRow struct {
+	key   string
+	cells []string
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -156,16 +162,21 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, Headers: headers}
 }
 
-// AddRow appends a row; cells beyond the header count are dropped and
-// missing cells are rendered empty.
-func (t *Table) AddRow(cells ...string) {
+// pad clips or extends a row to the header count.
+func (t *Table) pad(cells []string) []string {
 	row := make([]string, len(t.Headers))
 	for i := range row {
 		if i < len(cells) {
 			row[i] = cells[i]
 		}
 	}
-	t.rows = append(t.rows, row)
+	return row
+}
+
+// AddRow appends a row; cells beyond the header count are dropped and
+// missing cells are rendered empty.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, t.pad(cells))
 }
 
 // AddRowf appends a row built from fmt.Sprint of each value.
@@ -181,7 +192,9 @@ func (t *Table) AddRowf(cells ...any) {
 // set name). Two concurrent replicators reporting under the same key
 // would silently interleave their rows in one table; a duplicate key is
 // therefore an error, caught where the collision happens instead of in
-// the rendered output.
+// the rendered output. Keyed rows render sorted by key — after any
+// unkeyed rows — so producers that complete in nondeterministic order
+// still yield byte-identical tables.
 func (t *Table) AddKeyedRow(key string, cells ...string) error {
 	if t.keys == nil {
 		t.keys = make(map[string]bool)
@@ -190,7 +203,7 @@ func (t *Table) AddKeyedRow(key string, cells ...string) error {
 		return fmt.Errorf("metrics: duplicate table key %q", key)
 	}
 	t.keys[key] = true
-	t.AddRow(cells...)
+	t.keyed = append(t.keyed, keyedRow{key: key, cells: t.pad(cells)})
 	return nil
 }
 
@@ -198,15 +211,30 @@ func (t *Table) AddKeyedRow(key string, cells ...string) error {
 func (t *Table) HasKey(key string) bool { return t.keys[key] }
 
 // NumRows returns the number of data rows.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int { return len(t.rows) + len(t.keyed) }
+
+// allRows returns the rows in render order: unkeyed rows in insertion
+// order, then keyed rows sorted by key.
+func (t *Table) allRows() [][]string {
+	out := make([][]string, 0, len(t.rows)+len(t.keyed))
+	out = append(out, t.rows...)
+	keyed := make([]keyedRow, len(t.keyed))
+	copy(keyed, t.keyed)
+	sort.Slice(keyed, func(i, j int) bool { return keyed[i].key < keyed[j].key })
+	for _, kr := range keyed {
+		out = append(out, kr.cells)
+	}
+	return out
+}
 
 // String renders the table.
 func (t *Table) String() string {
+	rows := t.allRows()
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
-	for _, r := range t.rows {
+	for _, r := range rows {
 		for i, c := range r {
 			if len(c) > widths[i] {
 				widths[i] = len(c)
@@ -235,7 +263,7 @@ func (t *Table) String() string {
 	total += 2 * (len(widths) - 1)
 	b.WriteString(strings.Repeat("-", total))
 	b.WriteByte('\n')
-	for _, r := range t.rows {
+	for _, r := range rows {
 		line(r)
 	}
 	return b.String()

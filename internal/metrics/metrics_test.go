@@ -340,3 +340,58 @@ func TestTableLeaseColumnKeyedCollision(t *testing.T) {
 		t.Fatalf("colliding lease row rendered:\n%s", out)
 	}
 }
+
+// TestKeyedRowsRenderSortedByKey: keyed rows must render sorted by key
+// no matter what order producers added them in, so tables filled from
+// concurrently completing workers are byte-identical across runs.
+func TestKeyedRowsRenderSortedByKey(t *testing.T) {
+	render := func(keys []string) string {
+		tb := NewTable("pairs", "Key", "Val")
+		for _, k := range keys {
+			if err := tb.AddKeyedRow(k, k, "v-"+k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tb.String()
+	}
+	insertions := [][]string{
+		{"p00", "p01", "p02"},
+		{"p02", "p00", "p01"},
+		{"p01", "p02", "p00"},
+	}
+	want := render(insertions[0])
+	for _, ins := range insertions[1:] {
+		if got := render(ins); got != want {
+			t.Fatalf("insertion order %v changed rendering:\n%s\nvs\n%s", ins, got, want)
+		}
+	}
+	i0 := strings.Index(want, "p00")
+	i1 := strings.Index(want, "p01")
+	i2 := strings.Index(want, "p02")
+	if !(i0 < i1 && i1 < i2) {
+		t.Fatalf("keyed rows not sorted by key:\n%s", want)
+	}
+}
+
+// TestKeyedRowsMixWithUnkeyed: unkeyed rows keep insertion order and
+// render before the sorted keyed block; NumRows counts both.
+func TestKeyedRowsMixWithUnkeyed(t *testing.T) {
+	tb := NewTable("", "Key", "Val")
+	tb.AddRow("summary", "1")
+	if err := tb.AddKeyedRow("b", "b", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddKeyedRow("a", "a", "3"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 {
+		t.Fatalf("NumRows = %d, want 3", tb.NumRows())
+	}
+	out := tb.String()
+	is := strings.Index(out, "summary")
+	ia := strings.Index(out, "a   ")
+	ib := strings.Index(out, "b   ")
+	if is < 0 || ia < 0 || ib < 0 || !(is < ia && ia < ib) {
+		t.Fatalf("row order wrong (summary, then keyed sorted):\n%s", out)
+	}
+}

@@ -256,11 +256,20 @@ func (fs *FS) writebackPage(ino *Inode, idx int64, pg *cachePage) {
 }
 
 // Sync forces writeback of all the file's dirty pages now (fsync).
+// Pages go out in ascending index order: iterating the cache map
+// directly would make the block-layer write sequence (and the order its
+// costs are charged in) vary run to run, breaking byte-identical
+// traces.
 func (fs *FS) Sync(ino *Inode) {
+	idxs := make([]int64, 0)
 	for k, pg := range fs.cache {
 		if k.ino == ino.Ino && pg.dirty {
-			fs.writebackPage(ino, k.idx, pg)
+			idxs = append(idxs, k.idx)
 		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		fs.writebackPage(ino, idx, fs.cache[pageKey{ino: ino.Ino, idx: idx}])
 	}
 	ino.attrDirty = false
 }

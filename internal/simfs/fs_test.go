@@ -361,3 +361,65 @@ func TestPropertyCheckpointRestorePreservesContent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// recordingStore wraps a block store and records the order blocks are
+// written, so tests can assert writeback sequencing.
+type recordingStore struct {
+	inner BlockStore
+	order []uint64
+}
+
+func (r *recordingStore) WriteBlock(bn uint64, data []byte) error {
+	r.order = append(r.order, bn)
+	return r.inner.WriteBlock(bn, data)
+}
+func (r *recordingStore) ReadBlock(bn uint64) []byte { return r.inner.ReadBlock(bn) }
+
+// TestSyncWritebackOrderDeterministic: Sync must write a file's dirty
+// pages back in ascending page order regardless of the order the pages
+// were dirtied in (which shapes the cache map's iteration history).
+// Regression for a map-order iteration in Sync that made the
+// block-write sequence — and with it the virtual-time cost ordering —
+// vary between byte-identical runs.
+func TestSyncWritebackOrderDeterministic(t *testing.T) {
+	perms := [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{7, 6, 5, 4, 3, 2, 1, 0},
+		{3, 0, 6, 1, 7, 2, 5, 4},
+		{5, 2, 7, 0, 4, 6, 1, 3},
+	}
+	var want []uint64
+	for run, perm := range perms {
+		c := simtime.NewClock()
+		rec := &recordingStore{inner: simdisk.NewDisk("sda")}
+		fs := New(c, rec)
+		fs.WritebackDelay = 0 // no background flusher: Sync does all writeback
+		f := fs.Create("/f")
+		for _, pg := range perm {
+			if err := fs.WriteAt(f, int64(pg)*PageSize, []byte{byte(pg + 1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rec.order = nil
+		fs.Sync(f)
+		if len(rec.order) != len(perm) {
+			t.Fatalf("run %d: %d writebacks, want %d", run, len(rec.order), len(perm))
+		}
+		for i := 1; i < len(rec.order); i++ {
+			if rec.order[i-1] >= rec.order[i] {
+				t.Fatalf("run %d: writeback order not ascending: %v", run, rec.order)
+			}
+		}
+		if run == 0 {
+			want = append([]uint64(nil), rec.order...)
+		} else if len(rec.order) != len(want) {
+			t.Fatalf("run %d: order diverged: %v vs %v", run, rec.order, want)
+		} else {
+			for i := range want {
+				if rec.order[i] != want[i] {
+					t.Fatalf("run %d: order diverged: %v vs %v", run, rec.order, want)
+				}
+			}
+		}
+	}
+}

@@ -50,6 +50,13 @@ type PlugQdisc struct {
 	inputMode    InputBlockMode
 	inputBuf     []Packet
 
+	// OnDeliver, when set, observes every packet the qdisc hands to the
+	// container's stack — direct ingress and unblock flushes alike, in
+	// delivery order. The record/replay recorder uses this as the
+	// authoritative capture point for network-input nondeterminism: what
+	// the stack saw, in the order it saw it.
+	OnDeliver func(Packet)
+
 	// Stats.
 	egressBuffered  int
 	egressReleased  int
@@ -160,9 +167,7 @@ func (q *PlugQdisc) UnblockInput() {
 	buf := q.inputBuf
 	q.inputBuf = nil
 	for _, pkt := range buf {
-		if q.in != nil {
-			q.in(pkt)
-		}
+		q.deliver(pkt)
 	}
 }
 
@@ -181,6 +186,15 @@ func (q *PlugQdisc) Ingress(pkt Packet) {
 			q.ingressBuffered++
 		}
 		return
+	}
+	q.deliver(pkt)
+}
+
+// deliver hands one packet to the stack, notifying the observer first so
+// a recorder logs the packet before any synchronous handler output.
+func (q *PlugQdisc) deliver(pkt Packet) {
+	if q.OnDeliver != nil {
+		q.OnDeliver(pkt)
 	}
 	if q.in != nil {
 		q.in(pkt)

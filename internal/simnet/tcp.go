@@ -144,6 +144,14 @@ type Stack struct {
 	// is what makes recovery slow without the patch.
 	RTOInitial simtime.Duration
 
+	// OnAppSend, when set, observes every application-level Send that is
+	// accepted for transmission (payload before segmentation). Unlike a
+	// qdisc-level tap it fires even for sockets in repair mode, so the
+	// record/replay divergence oracle can digest the output a restored
+	// container produces while its network is still quiesced and compare
+	// it to the primary's recorded stream.
+	OnAppSend func(*Socket, []byte)
+
 	rstSent int
 }
 
@@ -266,6 +274,9 @@ func (st *Stack) armSynTimer(s *Socket) {
 func (s *Socket) Send(data []byte) {
 	if s.State != StateEstablished && s.State != StateCloseWait {
 		return
+	}
+	if s.stack.OnAppSend != nil {
+		s.stack.OnAppSend(s, data)
 	}
 	for len(data) > 0 {
 		n := s.stack.MSS
