@@ -29,6 +29,9 @@
 //	bench6         BENCH_6.json: externally-visible response latency
 //	               across output-commit disciplines (stop-and-copy,
 //	               pipelined, lease, record/replay), as JSON on stdout
+//	bench7         BENCH_7.json: parallel windowed throughput on a
+//	               64-host / 256-pair fleet, ladder lanes 1/2/4/8 vs
+//	               windowed lanes x workers grid, as JSON on stdout
 //	scale-threads  Streamcluster 1..32 threads
 //	scale-clients  Lighttpd 2..128 clients
 //	scale-procs    Lighttpd 1..8 processes
@@ -58,6 +61,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"nilicon/internal/chaos"
@@ -101,8 +106,12 @@ type app struct {
 	smoke    *bool
 	degrade  *string
 	shards   *int
+	workers  *int
+	cpuprof  *string
+	memprof  *string
 
 	degradePol core.DegradePolicy
+	cpuprofF   *os.File
 }
 
 func newApp(stdout, stderr io.Writer) *app {
@@ -130,8 +139,11 @@ func newApp(stdout, stderr io.Writer) *app {
 	a.smoke = fs.Bool("smoke", false, "fleet: reduced CI shape (4 pairs, 4 hosts, 1 kill, short window)")
 	a.degrade = fs.String("degrade", "strict", "chaos/fleet: lease degradation policy (strict|availability)")
 	a.shards = fs.Int("shards", 0, "chaos/fleet: simulation engine (0 = serial clock; N>=1 = sharded event wheels with N lanes, trace-identical for any N)")
+	a.workers = fs.Int("workers", 0, "chaos/fleet: window-drain goroutines for the sharded engine (0 = ladder mode; N>=1 = conservative windows, trace-identical for any N)")
+	a.cpuprof = fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	a.memprof = fs.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|bench|chaos|fleet|fleetbench|bench5|bench6|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
+		fmt.Fprintf(stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|bench|chaos|fleet|fleetbench|bench5|bench6|bench7|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
 		fs.PrintDefaults()
 	}
 	return a
@@ -167,6 +179,12 @@ func (a *app) run(args []string) int {
 		fmt.Fprintf(a.stderr, format+"\n", args...)
 	}
 
+	if err := a.startProfiles(); err != nil {
+		fmt.Fprintf(a.stderr, "niliconctl: %v\n", err)
+		return 2
+	}
+	defer a.stopProfiles()
+
 	if cmd == "all" {
 		for _, name := range []string{"table1", "table2", "fig3", "table6", "validate", "pipeline", "scale-threads", "scale-clients", "scale-procs"} {
 			fmt.Fprintf(a.stdout, "== %s ==\n", name)
@@ -184,6 +202,45 @@ func (a *app) run(args []string) int {
 	return 0
 }
 
+// startProfiles begins CPU profiling and arms the heap snapshot when
+// the -cpuprofile/-memprofile flags are set. Meant for the bench*
+// subcommands (profile the hot simulation paths), but valid on any
+// experiment.
+func (a *app) startProfiles() error {
+	if *a.cpuprof != "" {
+		f, err := os.Create(*a.cpuprof)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %v", err)
+		}
+		a.cpuprofF = f
+	}
+	return nil
+}
+
+func (a *app) stopProfiles() {
+	if a.cpuprofF != nil {
+		pprof.StopCPUProfile()
+		a.cpuprofF.Close()
+		a.cpuprofF = nil
+	}
+	if *a.memprof != "" {
+		f, err := os.Create(*a.memprof)
+		if err != nil {
+			fmt.Fprintf(a.stderr, "niliconctl: -memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the snapshot reflects live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(a.stderr, "niliconctl: -memprofile: %v\n", err)
+		}
+	}
+}
+
 // validate rejects out-of-range or malformed flag values with one-line
 // errors before any experiment starts.
 func (a *app) validate() error {
@@ -192,6 +249,12 @@ func (a *app) validate() error {
 	}
 	if *a.shards < 0 {
 		return fmt.Errorf("-shards must be >= 0 (got %d)", *a.shards)
+	}
+	if *a.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d)", *a.workers)
+	}
+	if *a.workers > 0 && *a.shards == 0 {
+		return fmt.Errorf("-workers requires the sharded engine (-shards >= 1)")
 	}
 	if *a.seeds < 1 {
 		return fmt.Errorf("-seeds must be >= 1 (got %d)", *a.seeds)
@@ -209,7 +272,7 @@ func (a *app) validate() error {
 
 var commands = []string{
 	"table1", "table2", "fig3", "table6", "validate", "pipeline", "bench",
-	"chaos", "fleet", "fleetbench", "bench5", "bench6",
+	"chaos", "fleet", "fleetbench", "bench5", "bench6", "bench7",
 	"scale-threads", "scale-clients", "scale-procs", "report", "timeline", "all",
 }
 
@@ -255,6 +318,8 @@ func (a *app) runCommand(name string) error {
 		return a.runBench5()
 	case "bench6":
 		return a.runBench6()
+	case "bench7":
+		return a.runBench7()
 	case "scale-threads":
 		return a.runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunScaleThreads(nil, rc); return tb })
 	case "scale-clients":
@@ -304,7 +369,7 @@ func (a *app) runBench() error {
 
 func (a *app) runChaos() error {
 	if *a.sweep {
-		results, tb := harness.RunChaosSweepSharded(*a.seeds, *a.seed, simtime.Duration(*a.chaosDur), harness.Jobs, *a.shards)
+		results, tb := harness.RunChaosSweepSharded(*a.seeds, *a.seed, simtime.Duration(*a.chaosDur), harness.Jobs, *a.shards, *a.workers)
 		fmt.Fprintln(a.stdout, tb)
 		failed := 0
 		for _, res := range results {
@@ -332,6 +397,7 @@ func (a *app) runChaos() error {
 		Duration: simtime.Duration(*a.chaosDur),
 		Degrade:  a.degradePol,
 		Shards:   *a.shards,
+		Workers:  *a.workers,
 	})
 	fmt.Fprint(a.stdout, res.Trace)
 	if !res.Passed {
@@ -351,6 +417,8 @@ func (a *app) runFleet() error {
 		Kills:   *a.kills,
 		Degrade: a.degradePol,
 		Shards:  *a.shards,
+
+		EngineWorkers: *a.workers,
 	}
 	if d := simtime.Duration(*a.chaosDur); d > 0 {
 		cfg.Duration = d
@@ -390,6 +458,17 @@ func (a *app) runFleetBench() error {
 func (a *app) runBench5() error {
 	rep := harness.RunBench5(*a.seed)
 	fmt.Fprintln(a.stderr, harness.Bench5Table(rep))
+	out, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = a.stdout.Write(out)
+	return err
+}
+
+func (a *app) runBench7() error {
+	rep := harness.RunBench7(*a.seed)
+	fmt.Fprintln(a.stderr, harness.Bench7Table(rep))
 	out, err := rep.JSON()
 	if err != nil {
 		return err

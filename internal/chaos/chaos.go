@@ -74,6 +74,15 @@ type Config struct {
 	// identical trace for a given seed — the shard-parity oracle checks
 	// exactly that.
 	Shards int
+	// Workers enables the sharded engine's conservative-window mode
+	// with that many window-drain goroutines (0 = ladder mode, the
+	// default). Campaigns schedule across shards freely — the root
+	// oracle ticker and fault injection touch every shard — so every
+	// shard is pinned onto one lane: windows then hold a single active
+	// lane and drain in exactly ladder order, keeping the trace
+	// byte-identical for any (Shards, Workers) combination. Requires
+	// Shards >= 1.
+	Workers int
 }
 
 // Verdict is one oracle's outcome.
@@ -191,6 +200,10 @@ func VerifySeed(cfg Config) Result {
 func (c *campaign) build() {
 	if c.cfg.Shards > 0 {
 		sc := simtime.NewShardedClock(c.cfg.Shards)
+		if c.cfg.Workers > 0 {
+			sc.SetWorkers(c.cfg.Workers)
+			sc.PinNewShards(0)
+		}
 		c.clock = sc.Root()
 		c.cl = core.NewShardedCluster(sc, core.ClusterParams{})
 	} else {

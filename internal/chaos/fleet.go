@@ -52,6 +52,12 @@ type FleetConfig struct {
 	// host plus the control-plane root shard, folded onto N lanes). Any
 	// N >= 1 produces an identical trace.
 	Shards int
+	// EngineWorkers enables conservative-window mode with that many
+	// window-drain goroutines (see chaos.Config.Workers — every shard is
+	// pinned to one lane so the detector's cross-shard scheduling stays
+	// legal and the trace stays byte-identical). Named to avoid clashing
+	// with Workers, the host-pool field above. Requires Shards >= 1.
+	EngineWorkers int
 }
 
 func (cfg *FleetConfig) defaults() {
@@ -208,6 +214,10 @@ func (c *fleetCampaign) build() {
 	var err error
 	if c.cfg.Shards > 0 {
 		sc := simtime.NewShardedClock(c.cfg.Shards)
+		if c.cfg.EngineWorkers > 0 {
+			sc.SetWorkers(c.cfg.EngineWorkers)
+			sc.PinNewShards(0)
+		}
 		c.clock = sc.Root()
 		f, err = cluster.NewSharded(sc, params)
 	} else {

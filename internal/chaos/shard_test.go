@@ -7,26 +7,40 @@ import (
 	"nilicon/internal/simtime"
 )
 
-// The sharded engine's central guarantee (DESIGN.md §11): for a fixed
-// seed, the lane count is a pure performance knob — shards=1 and
-// shards=N must produce byte-identical event traces AND byte-identical
-// epoch timelines. These tables run the real campaign entry points (the
-// scripted split-brain partition-heal, the randomized single-pair
-// schedules, and the fleet host-kill campaign) across lane counts and
-// diff the bytes.
+// The sharded engine's central guarantee (DESIGN.md §11, §13): for a
+// fixed seed, the lane count AND the window-drain worker count are pure
+// performance knobs — every (shards, workers) configuration must produce
+// byte-identical event traces AND byte-identical epoch timelines. These
+// tables run the real campaign entry points (the scripted split-brain
+// partition-heal, the randomized single-pair schedules, and the fleet
+// host-kill campaign) across the configuration grid and diff the bytes.
 
-var parityLanes = []int{1, 2, 4}
+// parityGrid is the full engine-configuration matrix: every lane count
+// crossed with ladder mode (workers=0) and every conservative-window
+// worker count. The first entry — shards=1, ladder — is the reference
+// all others are diffed against.
+var parityGrid = func() [][2]int {
+	grid := [][2]int{}
+	for _, shards := range []int{1, 2, 4} {
+		for _, workers := range []int{0, 1, 2, 4} {
+			grid = append(grid, [2]int{shards, workers})
+		}
+	}
+	return grid
+}()
 
-// assertParity runs fn at every lane count and asserts the results are
-// byte-identical to the lanes=1 reference (and that every run passes
-// its own oracles — parity between two broken runs proves nothing).
-func assertParity(t *testing.T, name string, fn func(shards int) Result) {
+// assertParity runs fn at every (shards, workers) configuration and
+// asserts the results are byte-identical to the shards=1/ladder
+// reference (and that every run passes its own oracles — parity between
+// two broken runs proves nothing).
+func assertParity(t *testing.T, name string, fn func(shards, workers int) Result) {
 	t.Helper()
 	var ref Result
-	for i, shards := range parityLanes {
-		res := fn(shards)
+	for i, cfg := range parityGrid {
+		shards, workers := cfg[0], cfg[1]
+		res := fn(shards, workers)
 		if !res.Passed {
-			t.Fatalf("%s shards=%d: campaign failed its oracles:\n%s", name, shards, res.Trace)
+			t.Fatalf("%s shards=%d workers=%d: campaign failed its oracles:\n%s", name, shards, workers, res.Trace)
 		}
 		if i == 0 {
 			ref = res
@@ -36,12 +50,12 @@ func assertParity(t *testing.T, name string, fn func(shards int) Result) {
 			continue
 		}
 		if res.Trace != ref.Trace {
-			t.Errorf("%s shards=%d: trace diverged from shards=%d (%d vs %d bytes)",
-				name, shards, parityLanes[0], len(res.Trace), len(ref.Trace))
+			t.Errorf("%s shards=%d workers=%d: trace diverged from the shards=1 ladder reference (%d vs %d bytes)",
+				name, shards, workers, len(res.Trace), len(ref.Trace))
 		}
 		if res.TimelineCSV != ref.TimelineCSV {
-			t.Errorf("%s shards=%d: epoch timeline diverged from shards=%d (%d vs %d bytes)",
-				name, shards, parityLanes[0], len(res.TimelineCSV), len(ref.TimelineCSV))
+			t.Errorf("%s shards=%d workers=%d: epoch timeline diverged from the shards=1 ladder reference (%d vs %d bytes)",
+				name, shards, workers, len(res.TimelineCSV), len(ref.TimelineCSV))
 		}
 	}
 }
@@ -60,9 +74,10 @@ func TestShardParitySplitBrain(t *testing.T) {
 	for _, tc := range cases {
 		for _, seed := range tc.seeds {
 			name := tc.scenario + "/" + tc.degrade.String()
-			assertParity(t, name, func(shards int) Result {
+			assertParity(t, name, func(shards, workers int) Result {
 				return RunSplitBrain(SplitBrainConfig{
-					Seed: seed, Scenario: tc.scenario, Degrade: tc.degrade, Shards: shards,
+					Seed: seed, Scenario: tc.scenario, Degrade: tc.degrade,
+					Shards: shards, Workers: workers,
 				})
 			})
 		}
@@ -72,7 +87,7 @@ func TestShardParitySplitBrain(t *testing.T) {
 func TestShardParityRandomizedSchedules(t *testing.T) {
 	for _, seed := range []int64{1, 2, 7} {
 		for _, terminal := range []string{TerminalKill, TerminalNone} {
-			assertParity(t, "randomized/"+terminal, func(shards int) Result {
+			assertParity(t, "randomized/"+terminal, func(shards, workers int) Result {
 				return Run(Config{
 					Seed:     seed,
 					Opts:     core.AllOpts(),
@@ -80,6 +95,7 @@ func TestShardParityRandomizedSchedules(t *testing.T) {
 					Terminal: terminal,
 					Duration: 900 * simtime.Millisecond,
 					Shards:   shards,
+					Workers:  workers,
 				})
 			})
 		}
@@ -88,13 +104,14 @@ func TestShardParityRandomizedSchedules(t *testing.T) {
 
 func TestShardParityFleetHostKill(t *testing.T) {
 	for _, seed := range []int64{1, 2, 5} {
-		assertParity(t, "fleet/host-kill", func(shards int) Result {
+		assertParity(t, "fleet/host-kill", func(shards, workers int) Result {
 			return RunFleet(FleetConfig{
-				Seed:     seed,
-				Opts:     core.AllOpts(),
-				OptName:  "all",
-				Duration: 500 * simtime.Millisecond,
-				Shards:   shards,
+				Seed:          seed,
+				Opts:          core.AllOpts(),
+				OptName:       "all",
+				Duration:      500 * simtime.Millisecond,
+				Shards:        shards,
+				EngineWorkers: workers,
 			})
 		})
 	}
@@ -110,7 +127,7 @@ func TestShardParityFleetHostKill(t *testing.T) {
 func TestShardParityReplay(t *testing.T) {
 	for _, seed := range []int64{1, 3, 9} {
 		for _, terminal := range []string{TerminalKill, TerminalNone} {
-			assertParity(t, "replay/"+terminal, func(shards int) Result {
+			assertParity(t, "replay/"+terminal, func(shards, workers int) Result {
 				return Run(Config{
 					Seed:     seed,
 					Opts:     core.ReplayOpts(),
@@ -118,6 +135,7 @@ func TestShardParityReplay(t *testing.T) {
 					Terminal: terminal,
 					Duration: 900 * simtime.Millisecond,
 					Shards:   shards,
+					Workers:  workers,
 				})
 			})
 		}
@@ -125,21 +143,22 @@ func TestShardParityReplay(t *testing.T) {
 	// The scripted partition-heal geometry under replay: a mid-partition
 	// promotion replays the committed suffix while the fenced old
 	// primary parks log-ack releases.
-	assertParity(t, "replay/splitbrain", func(shards int) Result {
+	assertParity(t, "replay/splitbrain", func(shards, workers int) Result {
 		return RunSplitBrain(SplitBrainConfig{
 			Seed: 2, Scenario: ScenarioPartitionHeal, Degrade: core.StrictSafety,
-			Replay: true, Shards: shards,
+			Replay: true, Shards: shards, Workers: workers,
 		})
 	})
 	// Fleet host-kill under replay: several pairs fail over at once and
 	// each must replay on its own host's lane.
-	assertParity(t, "replay/fleet", func(shards int) Result {
+	assertParity(t, "replay/fleet", func(shards, workers int) Result {
 		return RunFleet(FleetConfig{
-			Seed:     4,
-			Opts:     core.ReplayOpts(),
-			OptName:  "fleet-replay",
-			Duration: 500 * simtime.Millisecond,
-			Shards:   shards,
+			Seed:          4,
+			Opts:          core.ReplayOpts(),
+			OptName:       "fleet-replay",
+			Duration:      500 * simtime.Millisecond,
+			Shards:        shards,
+			EngineWorkers: workers,
 		})
 	})
 }

@@ -53,8 +53,10 @@ type SplitBrainConfig struct {
 	// configuration (core.ReplayOpts) instead of core.AllOpts, so the
 	// scripted lease geometries also exercise log-commit-gated release.
 	Replay bool
-	// Shards selects the simulation engine (see Config.Shards).
-	Shards int
+	// Shards / Workers select the simulation engine (see Config.Shards
+	// and Config.Workers).
+	Shards  int
+	Workers int
 }
 
 // Scripted scenario geometry. The partition must outlive the promotion
@@ -81,6 +83,7 @@ func RunSplitBrain(sb SplitBrainConfig) Result {
 		PreLease: sb.PreLease,
 		Degrade:  sb.Degrade,
 		Shards:   sb.Shards,
+		Workers:  sb.Workers,
 	}
 	if sb.Replay {
 		cfg.Opts = core.ReplayOpts()

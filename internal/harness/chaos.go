@@ -40,7 +40,7 @@ func ChaosOptSets() []core.LadderStep {
 // checked alongside the runtime oracles. It returns every campaign
 // result plus a per-matrix-entry summary table.
 func RunChaosSweep(seeds int, base int64, duration simtime.Duration) ([]chaos.Result, *metrics.Table) {
-	return RunChaosSweepSharded(seeds, base, duration, Jobs, 0)
+	return RunChaosSweepSharded(seeds, base, duration, Jobs, 0, 0)
 }
 
 // RunChaosSweepParallel is RunChaosSweep with an explicit worker count.
@@ -49,17 +49,20 @@ func RunChaosSweep(seeds int, base int64, duration simtime.Duration) ([]chaos.Re
 // slice, the progress lines and the summary table are byte-identical for
 // any jobs value.
 func RunChaosSweepParallel(seeds int, base int64, duration simtime.Duration, jobs int) ([]chaos.Result, *metrics.Table) {
-	return RunChaosSweepSharded(seeds, base, duration, jobs, 0)
+	return RunChaosSweepSharded(seeds, base, duration, jobs, 0, 0)
 }
 
 // RunChaosSweepSharded is RunChaosSweepParallel with an explicit
 // simulation engine: shards=0 runs the legacy serial clock, shards>=1
-// the sharded engine with that many lanes. Because the sharded engine's
-// traces are lane-count invariant, the sweep's output is byte-identical
-// for every shards>=1 value — the CI determinism smoke diffs shards=1
-// against shards=4. The shards value itself is deliberately absent from
-// all output.
-func RunChaosSweepSharded(seeds int, base int64, duration simtime.Duration, jobs, shards int) ([]chaos.Result, *metrics.Table) {
+// the sharded engine with that many lanes, and workers>=1 additionally
+// runs the engine's conservative-window mode with that many drain
+// goroutines (requires shards>=1). Because the sharded engine's traces
+// are lane-count and worker-count invariant, the sweep's output is
+// byte-identical for every shards>=1 × workers>=0 value — the CI
+// determinism smoke diffs shards=1 against shards=4 and against
+// shards=4/workers=4. The shards and workers values themselves are
+// deliberately absent from all output.
+func RunChaosSweepSharded(seeds int, base int64, duration simtime.Duration, jobs, shards, workers int) ([]chaos.Result, *metrics.Table) {
 	if seeds <= 0 {
 		seeds = 20
 	}
@@ -142,19 +145,20 @@ func RunChaosSweepSharded(seeds int, base int64, duration simtime.Duration, jobs
 		func(i int) {
 			cmp := campaigns[i]
 			if cmp.fleet != nil {
-				results[i] = RunFleetCampaignSharded(*cmp.fleet, cmp.seed, duration, shards)
+				results[i] = RunFleetCampaignSharded(*cmp.fleet, cmp.seed, duration, shards, workers)
 				return
 			}
 			if cmp.sb != nil {
 				sb := *cmp.sb
 				sb.Seed = cmp.seed
 				sb.Shards = shards
+				sb.Workers = workers
 				results[i] = chaos.VerifySplitBrainSeed(sb)
 				return
 			}
 			results[i] = chaos.VerifySeed(chaos.Config{
 				Seed: cmp.seed, Opts: cmp.opts, OptName: cmp.name, Duration: duration,
-				FaultKinds: cmp.kinds, Shards: shards,
+				FaultKinds: cmp.kinds, Shards: shards, Workers: workers,
 			})
 		},
 		func(i int) {

@@ -40,26 +40,28 @@ func FleetScenarios() []FleetScenario {
 
 // RunFleetCampaign runs one verified fleet campaign for a scenario.
 func RunFleetCampaign(sc FleetScenario, seed int64, duration simtime.Duration) chaos.Result {
-	return RunFleetCampaignSharded(sc, seed, duration, 0)
+	return RunFleetCampaignSharded(sc, seed, duration, 0, 0)
 }
 
 // RunFleetCampaignSharded is RunFleetCampaign on an explicit simulation
-// engine (shards semantics as in chaos.Config.Shards).
-func RunFleetCampaignSharded(sc FleetScenario, seed int64, duration simtime.Duration, shards int) chaos.Result {
+// engine (shards and workers semantics as in chaos.Config.Shards and
+// chaos.FleetConfig.EngineWorkers).
+func RunFleetCampaignSharded(sc FleetScenario, seed int64, duration simtime.Duration, shards, workers int) chaos.Result {
 	opts := core.AllOpts()
 	if sc.Replay {
 		opts = core.ReplayOpts()
 	}
 	return chaos.VerifyFleetSeed(chaos.FleetConfig{
-		Seed:     seed,
-		Opts:     opts,
-		OptName:  sc.Name,
-		Pairs:    sc.Pairs,
-		Workers:  sc.Workers,
-		Spares:   sc.Spares,
-		Kills:    sc.Kills,
-		Duration: duration,
-		Shards:   shards,
+		Seed:          seed,
+		Opts:          opts,
+		OptName:       sc.Name,
+		Pairs:         sc.Pairs,
+		Workers:       sc.Workers,
+		Spares:        sc.Spares,
+		Kills:         sc.Kills,
+		Duration:      duration,
+		Shards:        shards,
+		EngineWorkers: workers,
 	})
 }
 

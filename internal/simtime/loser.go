@@ -1,0 +1,150 @@
+package simtime
+
+// loserTree is a tournament (loser) tree over the engine's lanes, keyed
+// by each lane's head event under the (when, shard, seq) total order.
+// It replaces the O(lanes) head scan in ladder mode: after the winning
+// lane pops (or schedules onto itself), one fix() replays only that
+// lane's root path — O(log lanes) key comparisons — to find the next
+// global minimum.
+//
+// Layout: k = next power of two >= len(lanes) leaves; node[1..k-1] hold
+// the *loser* of the match at each internal node, node[0] the overall
+// winner. Leaves beyond len(lanes) are virtual lanes with +inf heads.
+// Head keys are copied into the flat when/shard/seq arrays (refreshed
+// by build for all lanes, by fix for the one changed lane), so a match
+// is three integer compares against contiguous memory — no pointer
+// chasing through lane and Event structs on the hot path.
+//
+// fix(i) is only sound when lane i rests at node[0] (it just won) —
+// the ladder loop's pop/self-reschedule case. When an event touches a
+// *different* lane (cross-shard scheduling is legal in ladder mode),
+// the loop sets treeStale and rebuilds: O(lanes), same as the old scan,
+// paid only on actual cross-lane traffic.
+type loserTree struct {
+	k     int
+	node  []int32
+	lanes []*lane
+	// Cached head keys, indexed by lane; when == maxTime marks empty.
+	when  []Time
+	shard []int32
+	seq   []uint64
+}
+
+// load refreshes lane i's cached key from its current head.
+func (t *loserTree) load(i int32) {
+	if e := t.lanes[i].peek(); e != nil {
+		t.when[i], t.shard[i], t.seq[i] = e.when, e.shard, e.seq
+	} else {
+		t.when[i] = maxTime
+	}
+}
+
+// less orders lane indices by their cached head keys; virtual (-1) and
+// empty lanes sort as +inf. Ties between two empty lanes resolve false
+// deterministically (the winner is only consumed when its head is
+// non-nil, so the order among empties is unobservable).
+func (t *loserTree) less(a, b int32) bool {
+	if a < 0 {
+		return false
+	}
+	if b < 0 {
+		return true
+	}
+	if t.when[a] != t.when[b] {
+		return t.when[a] < t.when[b]
+	}
+	if t.when[a] == maxTime { // both empty
+		return false
+	}
+	if t.shard[a] != t.shard[b] {
+		return t.shard[a] < t.shard[b]
+	}
+	return t.seq[a] < t.seq[b]
+}
+
+// build (re)constructs the tree from scratch, refreshing every lane's
+// key and playing every match bottom-up. O(lanes) comparisons.
+func (t *loserTree) build(lanes []*lane) {
+	t.lanes = lanes
+	k := 1
+	for k < len(lanes) {
+		k <<= 1
+	}
+	t.k = k
+	if cap(t.node) < k {
+		t.node = make([]int32, k)
+		t.when = make([]Time, len(lanes))
+		t.shard = make([]int32, len(lanes))
+		t.seq = make([]uint64, len(lanes))
+	} else {
+		t.node = t.node[:k]
+	}
+	for i := range lanes {
+		t.load(int32(i))
+	}
+	if k == 1 {
+		t.node[0] = 0
+		return
+	}
+	t.node[0] = t.initNode(1)
+}
+
+// initNode plays the matches in the subtree rooted at internal node j,
+// storing losers on the way up and returning the subtree winner.
+func (t *loserTree) initNode(j int) int32 {
+	var a, b int32
+	if 2*j >= t.k {
+		a, b = t.leaf(2*j-t.k), t.leaf(2*j-t.k+1)
+	} else {
+		a, b = t.initNode(2*j), t.initNode(2*j+1)
+	}
+	if t.less(b, a) {
+		t.node[j] = a
+		return b
+	}
+	t.node[j] = b
+	return a
+}
+
+func (t *loserTree) leaf(i int) int32 {
+	if i < len(t.lanes) {
+		return int32(i)
+	}
+	return -1
+}
+
+// fix replays the matches on lane i's root path after its head changed.
+// Precondition: lane i is the current winner (node[0] == i), so i is
+// stored nowhere in the internal nodes and every match on the path is a
+// real two-team contest.
+func (t *loserTree) fix(i int) {
+	cur := int32(i)
+	t.load(cur)
+	for j := (t.k + i) >> 1; j >= 1; j >>= 1 {
+		if t.less(t.node[j], cur) {
+			cur, t.node[j] = t.node[j], cur
+		}
+	}
+	t.node[0] = cur
+}
+
+// winner returns the lane index holding the globally minimal head (an
+// empty lane only when every lane is empty).
+func (t *loserTree) winner() int32 { return t.node[0] }
+
+// runnerUp returns the cached key of the best lane other than the
+// current winner w: in a loser tree the overall second-best is the
+// minimum among the losers stored on the winner's root path. Returns a
+// +inf key when every other lane is empty. O(log lanes).
+func (t *loserTree) runnerUp(w int32) (Time, int32, uint64) {
+	best := int32(-1)
+	for j := (t.k + int(w)) >> 1; j >= 1; j >>= 1 {
+		if t.less(t.node[j], best) {
+			best = t.node[j]
+		}
+	}
+	if best < 0 || t.when[best] == maxTime {
+		return maxTime, 0, 0
+	}
+	return t.when[best], t.shard[best], t.seq[best]
+}

@@ -9,10 +9,11 @@
 // campaign oracles, fleet control loops). Shards are created with
 // NewShard and are part of the topology, so the total order
 // (when, shard, seq) never depends on how the engine is configured.
-// A *lane* is a physical event wheel; shard s lives on lane s mod L.
-// Running the same topology with L=1 or L=8 lanes only changes which
-// wheel holds each event, never the order events fire in — that is the
-// byte-identical-trace guarantee the chaos parity oracle checks.
+// A *lane* is a physical event wheel; shard s lives on lane s mod L
+// (or on the lane selected by PinNewShards). Running the same topology
+// with L=1 or L=8 lanes only changes which wheel holds each event,
+// never the order events fire in — that is the byte-identical-trace
+// guarantee the chaos parity oracle checks.
 //
 // # Total order
 //
@@ -27,25 +28,43 @@
 // # Ladder mode vs windowed mode
 //
 // By default the engine runs in "ladder" mode: a single goroutine pops
-// the globally minimal key across all lane wheels. This keeps exact
-// serial semantics (cross-shard scheduling and shared state are legal)
-// while replacing the one deep binary heap with L shallow O(1) wheels.
+// the globally minimal key across all lane wheels, selected through a
+// tournament (loser) tree — O(log lanes) per event, O(lanes) rebuilds
+// only on actual cross-lane scheduling (see loser.go). This keeps
+// exact serial semantics: cross-shard scheduling and shared state are
+// legal.
 //
 // With SetWorkers(n>=1) and a positive lookahead (SetLookahead, or the
 // minimum link latency reported via ObserveLookahead), the engine runs
-// conservative windows instead: each round it computes the lower-bound
-// timestamp H = minNextEvent + lookahead, drains every lane up to (but
-// not including) H — an event exactly at the horizon waits for the
-// next window — and merges cross-lane mailboxes at the barrier.
-// Within a window lanes may run on separate goroutines; lane code must
-// then touch only its own shard's state and use SendFrom for
-// cross-lane communication (arrival times are asserted against H).
+// conservative windows instead. Each window it computes a *per-lane*
+// horizon: lane B may safely drain every event below
+//
+//	limit(B) = min over other non-empty lanes A of head(A).when + λ
+//
+// because no cross-lane send issued by A at or after its current head
+// can arrive before that (λ is the lookahead, re-read every window so
+// a mid-run ObserveLookahead applies from the next window on). When B
+// itself performs a cross-lane send arriving at time a, its own limit
+// tightens to min(limit, a+λ): a causal response to that send can
+// arrive as early as a+λ, and B must not drain past it before the next
+// barrier merges the reply. An event exactly at its lane's horizon
+// waits for the next window. Lanes with no other non-empty peer (or
+// none at all) drain to the run bound — windows *adapt*: sparse
+// cross-lane traffic yields wide windows, and only real traffic
+// narrows them.
+//
+// Within a window lanes may run on the persistent worker pool
+// (worker.go); lane code must then touch only its own shard's state
+// and use SendFrom for cross-lane communication (arrival times are
+// asserted against the sender's time plus λ). Campaign code that
+// shares state across shards instead pins every shard to lane 0
+// (PinNewShards), where a windowed drain is exactly the ladder order.
 package simtime
 
 import (
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 )
 
 // Timing-wheel geometry. Level 0 slots are 1024ns (~1µs) wide; each
@@ -59,6 +78,17 @@ const (
 	tickShift   = 10
 	bitmapWords = wheelSlots / 64
 )
+
+// maxTime is the sentinel "no bound" horizon; far beyond any reachable
+// virtual time, with headroom so adding a lookahead cannot overflow.
+const maxTime = Time(1) << 62
+
+// slabChunk is the per-lane Event allocation batch: events are handed
+// out of chunked arrays so the steady-state schedule path amortizes one
+// heap allocation across slabChunk events. Chunks are never reused —
+// Cancel on a long-dead *Event must keep hitting its own memory — so a
+// chunk is freed by the GC once every event in it is unreachable.
+const slabChunk = 128
 
 // keyLess is the engine's total order: (when, shard, seq).
 func keyLess(a, b *Event) bool {
@@ -117,6 +147,7 @@ func (h *keyHeap) pop() *Event {
 type wheelLevel struct {
 	slots  [wheelSlots][]*Event
 	bitmap [bitmapWords]uint64
+	count  int // events stored at this level (skips empty-level scans)
 }
 
 // wheel is one lane's future-event store: hierarchical bitmap-indexed
@@ -147,6 +178,7 @@ func (w *wheel) insert(e *Event) {
 			}
 			lv.slots[idx] = append(lv.slots[idx], e)
 			lv.bitmap[idx>>6] |= 1 << uint(idx&63)
+			lv.count++
 			return
 		}
 	}
@@ -211,6 +243,9 @@ func (w *wheel) nextSlot() (batch []*Event, end Time, ok bool) {
 		var bestIdx int
 		var bestStart Time
 		for l := uint(0); l < wheelLevels; l++ {
+			if w.levels[l].count == 0 {
+				continue
+			}
 			idx, start, found := w.findSlot(l)
 			if !found {
 				continue
@@ -239,6 +274,7 @@ func (w *wheel) nextSlot() (batch []*Event, end Time, ok bool) {
 			batch = lv.slots[bestIdx]
 			lv.slots[bestIdx] = nil
 			lv.bitmap[bestIdx>>6] &^= 1 << uint(bestIdx&63)
+			lv.count -= len(batch)
 			w.count -= len(batch)
 			if start > w.cur {
 				w.cur = start
@@ -255,6 +291,7 @@ func (w *wheel) nextSlot() (batch []*Event, end Time, ok bool) {
 		evs := lv.slots[bestIdx]
 		lv.slots[bestIdx] = nil
 		lv.bitmap[bestIdx>>6] &^= 1 << uint(bestIdx&63)
+		lv.count -= len(evs)
 		for _, e := range evs {
 			w.count--
 			w.insert(e)
@@ -274,9 +311,12 @@ type lane struct {
 	run      []*Event
 	runPos   int
 	runEnd   Time
-	outbox   []*Event
-	running  bool  // inside a window drain (windowed mode)
-	curShard int32 // shard of the event currently executing
+	outbox   []*Event // cross-lane sends awaiting the barrier
+	inbox    []*Event // barrier staging: events arriving from other lanes
+	mergeBuf []*Event // reusable scratch for the barrier merge
+	limit    Time     // windowed: exclusive drain bound of the current window
+	running  bool     // inside a window drain (windowed mode)
+	curShard int32    // shard of the event currently executing
 	executed uint64
 	// live is this lane's contribution to Pending(). Each counter is
 	// only ever touched by its lane's own execution context (or the
@@ -284,14 +324,30 @@ type lane struct {
 	// count on the sender and settle on the receiver, which keeps the
 	// sum — the only externally visible value — exact at barriers.
 	live int64
-	// cachedHead memoizes head() for the ladder's min-scan; invalidated
-	// by pop, insert, and cancel.
+	// cachedHead memoizes head() for the ladder's tournament tree;
+	// invalidated by pop, insert, and cancel.
 	cachedHead *Event
 	headValid  bool
+	// slab is the chunked Event allocator (see slabChunk).
+	slab    []Event
+	slabPos int
+}
+
+// alloc hands out the next Event from the lane's slab chunk. Lanes only
+// allocate from their own execution context (or the driver thread), so
+// no locking is needed even under parallel windows.
+func (ln *lane) alloc() *Event {
+	if ln.slabPos == len(ln.slab) {
+		ln.slab = make([]Event, slabChunk)
+		ln.slabPos = 0
+	}
+	e := &ln.slab[ln.slabPos]
+	ln.slabPos++
+	return e
 }
 
 // peek returns head() through the lane's cache: lanes whose queues did
-// not change since the last scan answer with two loads.
+// not change since the last look answer with two loads.
 func (ln *lane) peek() *Event {
 	if !ln.headValid {
 		ln.cachedHead = ln.head()
@@ -300,8 +356,28 @@ func (ln *lane) peek() *Event {
 	return ln.cachedHead
 }
 
+// touched records that this lane's head may have changed underneath the
+// ladder loop's tournament tree (cross-lane insert or cancel); the loop
+// rebuilds the tree before the next pop. No-op outside ladder runs and
+// for the lane the ladder is currently executing (its path is replayed
+// with fix()).
+func (ln *lane) touched() {
+	if ln.eng.inLadder && int32(ln.idx) != ln.eng.ladderLane {
+		ln.eng.treeStale = true
+	}
+}
+
 func (ln *lane) insert(e *Event) {
-	ln.headValid = false
+	if ln.headValid && ln.cachedHead != nil && keyLess(ln.cachedHead, e) {
+		// e sorts after the memoized head: the head — and therefore the
+		// ladder tree's cached key for this lane — is unchanged. This is
+		// the common case for cross-lane traffic (events land a network
+		// latency in the future), and skipping the invalidation keeps
+		// foreign inserts from forcing O(lanes) tree rebuilds.
+	} else {
+		ln.headValid = false
+		ln.touched()
+	}
 	if e.when < ln.runEnd {
 		i := ln.runPos
 		for i < len(ln.run) && keyLess(ln.run[i], e) {
@@ -381,28 +457,94 @@ func (ln *lane) pop() {
 	ln.headValid = false
 }
 
-// drainWindow executes the lane's events with when < limit in key
-// order. In windowed mode this may run on the lane's own goroutine.
-func (ln *lane) drainWindow(limit Time) {
+// drainWindow executes the lane's events with when < ln.limit in key
+// order. In windowed mode this runs on a pool worker (or the driver);
+// it touches only this lane's state. The limit is re-read after every
+// event because the lane's own cross-lane sends tighten it (see
+// sendFrom).
+func (ln *lane) drainWindow() {
+	limit := ln.limit
 	ln.running = true
+	ln.headValid = false
 	for {
-		e := ln.head()
-		if e == nil || e.when >= limit {
+		run := ln.run
+		pos := ln.runPos
+		for pos < len(run) {
+			e := run[pos]
+			if e.cancel {
+				run[pos] = nil
+				pos++
+				continue
+			}
+			if e.when >= limit {
+				ln.runPos = pos
+				goto out
+			}
+			run[pos] = nil
+			pos++
+			ln.runPos = pos
+			if e.when > ln.now {
+				ln.now = e.when
+			}
+			ln.curShard = e.target
+			ln.live--
+			e.fn()
+			ln.executed++
+			if ln.limit < limit {
+				limit = ln.limit
+			}
+			run = ln.run // fn may have spliced into or grown the run
+			pos = ln.runPos
+		}
+		ln.runPos = pos
+		if ln.head() == nil { // pull the next wheel window
 			break
 		}
-		ln.pop()
-		if e.when > ln.now {
-			ln.now = e.when
-		}
-		ln.curShard = e.target
-		ln.live--
-		e.fn()
-		ln.executed++
 	}
-	if limit-1 > ln.now {
+out:
+	if limit < maxTime && limit-1 > ln.now {
 		ln.now = limit - 1
 	}
 	ln.running = false
+}
+
+// mergeInbox folds the barrier's staged cross-lane arrivals into the
+// lane: one sort of the batch, then a single merge pass with the run's
+// unconsumed tail (arrivals at or past runEnd go to the wheel). This
+// replaces per-event splicing — O((run+inbox)) per barrier instead of
+// O(run) per arrival.
+func (ln *lane) mergeInbox() {
+	if len(ln.inbox) == 0 {
+		return
+	}
+	ln.headValid = false
+	sortByKey(ln.inbox)
+	j := len(ln.inbox)
+	for j > 0 && ln.inbox[j-1].when >= ln.runEnd {
+		ln.wh.insert(ln.inbox[j-1])
+		j--
+	}
+	if j > 0 {
+		tail := ln.run[ln.runPos:]
+		buf := ln.mergeBuf[:0]
+		a, b := 0, 0
+		for a < len(tail) && b < j {
+			if keyLess(ln.inbox[b], tail[a]) {
+				buf = append(buf, ln.inbox[b])
+				b++
+			} else {
+				buf = append(buf, tail[a])
+				a++
+			}
+		}
+		buf = append(buf, tail[a:]...)
+		buf = append(buf, ln.inbox[b:j]...)
+		ln.run = append(ln.run[:ln.runPos], buf...)
+		clear(buf)
+		ln.mergeBuf = buf[:0]
+	}
+	clear(ln.inbox)
+	ln.inbox = ln.inbox[:0]
 }
 
 // ShardedClock is the sharded simulation engine. Create it with
@@ -414,13 +556,25 @@ type ShardedClock struct {
 	ctrs     []uint64 // per-shard key counters
 	now      Time
 	curShard int32 // executing shard in ladder mode; -1 outside events
-	stopped  bool
+	stopped  atomic.Bool
 	running  bool
 	windowed bool // a window drain is in progress
-	windowH  Time
+	winLA    Time // lookahead of the window in progress
 	workers  int
+	pin      int      // lane for shards from NewShard; -1 = round-robin
 	la       Duration // explicit lookahead (SetLookahead)
 	observed Duration // min link lookahead (ObserveLookahead)
+	windows  uint64   // conservative windows run (telemetry/tests)
+
+	// Ladder-mode tournament state (single driver goroutine only).
+	inLadder   bool
+	ladderLane int32
+	treeStale  bool
+	tree       loserTree
+
+	// Windowed-mode state.
+	active []*lane // reusable per-window active-lane set
+	pool   *winPool
 }
 
 // NewShardedClock creates an engine with the given number of physical
@@ -430,7 +584,7 @@ func NewShardedClock(lanes int) *ShardedClock {
 	if lanes < 1 {
 		lanes = 1
 	}
-	sc := &ShardedClock{curShard: -1}
+	sc := &ShardedClock{curShard: -1, pin: -1}
 	for i := 0; i < lanes; i++ {
 		sc.lanes = append(sc.lanes, &lane{eng: sc, idx: i})
 	}
@@ -456,11 +610,24 @@ func (sc *ShardedClock) Root() *Clock { return sc.views[0] }
 // topology, never on lane count.
 func (sc *ShardedClock) NewShard() *Clock {
 	id := int32(len(sc.views))
-	v := &Clock{eng: sc, shard: id, lane: int(id) % len(sc.lanes)}
+	laneIdx := int(id) % len(sc.lanes)
+	if sc.pin >= 0 {
+		laneIdx = sc.pin % len(sc.lanes)
+	}
+	v := &Clock{eng: sc, shard: id, lane: laneIdx}
 	sc.views = append(sc.views, v)
 	sc.ctrs = append(sc.ctrs, 0)
 	return v
 }
+
+// PinNewShards directs subsequent NewShard calls onto the given lane
+// (modulo the lane count); a negative lane restores the default
+// round-robin placement. Two uses: campaign drivers that share state
+// across shards pin everything to lane 0 so windowed runs are exactly
+// ladder-ordered, and isolated topologies pin each host group onto its
+// own lane so groups drain in parallel. Placement never affects event
+// order — only which wheel holds each event.
+func (sc *ShardedClock) PinNewShards(lane int) { sc.pin = lane }
 
 // View returns the Clock view for shard id (Root for 0).
 func (sc *ShardedClock) View(id int) *Clock { return sc.views[id] }
@@ -471,7 +638,9 @@ func (sc *ShardedClock) SetLookahead(d Duration) { sc.la = d }
 
 // ObserveLookahead reports a cross-shard link's minimum propagation
 // delay; the engine keeps the minimum across all links as its barrier
-// lookahead. simnet links call this when bound to a sharded view.
+// lookahead. simnet links call this when bound to a sharded view. A
+// smaller value reported mid-run takes effect at the next window
+// boundary, never the window in progress.
 func (sc *ShardedClock) ObserveLookahead(d Duration) {
 	if d <= 0 {
 		return
@@ -491,12 +660,21 @@ func (sc *ShardedClock) Lookahead() Duration {
 }
 
 // SetWorkers switches the engine into conservative-window mode with up
-// to n lane goroutines per window (n <= 0 restores ladder mode; n == 1
-// drains windows sequentially, still through the windowed path).
-// Windowed mode additionally requires a positive Lookahead. Lane code
-// must conform to shard isolation: within a window it may only touch
-// its own shard's state and must use SendFrom across lanes.
+// to n goroutines draining lanes per window (n <= 0 restores ladder
+// mode; n == 1 drains windows sequentially, still through the windowed
+// path). Windowed mode additionally requires a positive Lookahead and
+// more than one lane. Lane code must conform to shard isolation: within
+// a window it may only touch its own shard's state and must use
+// SendFrom across lanes (or pin all shards to one lane, see
+// PinNewShards).
 func (sc *ShardedClock) SetWorkers(n int) { sc.workers = n }
+
+// Workers returns the configured worker count (0 = ladder mode).
+func (sc *ShardedClock) Workers() int { return sc.workers }
+
+// Windows returns the number of conservative windows the engine has
+// run; it stays 0 whenever the ladder path is taken.
+func (sc *ShardedClock) Windows() uint64 { return sc.windows }
 
 // Now returns the engine's global virtual time.
 func (sc *ShardedClock) Now() Time { return sc.now }
@@ -549,7 +727,8 @@ func (sc *ShardedClock) scheduleAt(view *Clock, t Time, fn func()) *Event {
 			t = sc.now
 		}
 	}
-	e := &Event{when: t, seq: sc.ctrs[schedShard], shard: schedShard, target: view.shard, fn: fn, index: -1, eng: sc}
+	e := ln.alloc()
+	*e = Event{when: t, seq: sc.ctrs[schedShard], shard: schedShard, target: view.shard, fn: fn, index: -1, eng: sc}
 	sc.ctrs[schedShard]++
 	ln.live++
 	ln.insert(e)
@@ -571,15 +750,23 @@ func (sc *ShardedClock) sendFrom(src, dst *Clock, t Time, fn func()) *Event {
 	if t < srcLn.now {
 		t = srcLn.now
 	}
-	e := &Event{when: t, seq: sc.ctrs[schedShard], shard: schedShard, target: dst.shard, fn: fn, index: -1, eng: sc}
+	e := srcLn.alloc()
+	*e = Event{when: t, seq: sc.ctrs[schedShard], shard: schedShard, target: dst.shard, fn: fn, index: -1, eng: sc}
 	sc.ctrs[schedShard]++
 	srcLn.live++
 	if dst.lane == src.lane {
 		srcLn.insert(e)
 		return e
 	}
-	if t < sc.windowH {
-		panic(fmt.Sprintf("simtime: cross-shard send arriving at %v violates lookahead horizon %v", t, sc.windowH))
+	if t < srcLn.now+sc.winLA {
+		panic(fmt.Sprintf("simtime: cross-shard send arriving at %v violates lookahead %v from %v",
+			t, Duration(sc.winLA), srcLn.now))
+	}
+	// A causal response to this send can arrive as early as t+λ: tighten
+	// this lane's own window so it cannot drain past the earliest reply
+	// before the next barrier merges it.
+	if t+sc.winLA < srcLn.limit {
+		srcLn.limit = t + sc.winLA
 	}
 	srcLn.outbox = append(srcLn.outbox, e)
 	return e
@@ -588,16 +775,34 @@ func (sc *ShardedClock) sendFrom(src, dst *Clock, t Time, fn func()) *Event {
 func (sc *ShardedClock) cancelEvent(e *Event) {
 	ln := sc.lanes[sc.views[e.target].lane]
 	ln.live--
-	// The canceled event may be the lane's memoized head.
-	ln.headValid = false
+	// Canceling a non-head event leaves the head (and the ladder tree's
+	// key for this lane) untouched: canceled events are skipped lazily.
+	if !ln.headValid || ln.cachedHead == e {
+		ln.headValid = false
+		ln.touched()
+	}
 }
 
+// flushOutboxes stages every lane's pending cross-lane sends into the
+// destination lanes' inboxes, then merges each inbox in one batch.
 func (sc *ShardedClock) flushOutboxes() {
+	staged := false
 	for _, ln := range sc.lanes {
-		for _, e := range ln.outbox {
-			sc.lanes[sc.views[e.target].lane].insert(e)
+		if len(ln.outbox) == 0 {
+			continue
 		}
+		for _, e := range ln.outbox {
+			sc.lanes[sc.views[e.target].lane].inbox = append(sc.lanes[sc.views[e.target].lane].inbox, e)
+		}
+		clear(ln.outbox)
 		ln.outbox = ln.outbox[:0]
+		staged = true
+	}
+	if !staged {
+		return
+	}
+	for _, ln := range sc.lanes {
+		ln.mergeInbox()
 	}
 }
 
@@ -628,77 +833,170 @@ func (sc *ShardedClock) step() bool {
 	return true
 }
 
+// runLaneSerial is the single-lane ladder: no cross-lane selection at
+// all, just pop-and-execute in key order — the exact serial drain.
+func (sc *ShardedClock) runLaneSerial(until Time, bounded bool) {
+	ln := sc.lanes[0]
+	for !sc.stopped.Load() {
+		e := ln.head()
+		if e == nil || (bounded && e.when > until) {
+			return
+		}
+		ln.pop()
+		sc.now = e.when
+		ln.now = e.when
+		sc.curShard = e.target
+		ln.live--
+		e.fn()
+		ln.executed++
+		sc.curShard = -1
+	}
+}
+
 func (sc *ShardedClock) runLadder(until Time, bounded bool) {
-	for !sc.stopped {
-		var best *lane
-		var bestE *Event
+	if len(sc.lanes) == 1 {
+		sc.runLaneSerial(until, bounded)
+		return
+	}
+	t := &sc.tree
+	t.build(sc.lanes)
+	sc.inLadder = true
+	sc.treeStale = false
+	defer func() { sc.inLadder = false }()
+	for !sc.stopped.Load() {
+		w := t.winner()
+		best := sc.lanes[w]
+		bestE := best.peek()
+		if bestE == nil || (bounded && bestE.when > until) {
+			return
+		}
+		// Burst drain: every other lane's head is at least the runner-up
+		// key, so this lane's events strictly below it are globally
+		// minimal and can be popped back to back without touching the
+		// tree — one O(log lanes) fix per burst instead of per event.
+		// A foreign-lane head change (cross-shard insert or cancel) sets
+		// treeStale and breaks the burst; self-inserts are picked up by
+		// the re-peek, which always yields the lane's true head.
+		rw, rs, rq := t.runnerUp(w)
+		sc.ladderLane = w
+		for {
+			best.pop()
+			sc.now = bestE.when
+			best.now = bestE.when
+			sc.curShard = bestE.target
+			best.live--
+			bestE.fn()
+			best.executed++
+			sc.curShard = -1
+			if sc.treeStale || sc.stopped.Load() {
+				break
+			}
+			bestE = best.peek()
+			if bestE == nil || (bounded && bestE.when > until) {
+				break
+			}
+			if bestE.when > rw || (bestE.when == rw &&
+				(bestE.shard > rs || (bestE.shard == rs && bestE.seq > rq))) {
+				break
+			}
+		}
+		if sc.treeStale {
+			// An event touched a foreign lane's head: rebuild. Same
+			// O(lanes) cost as the old scan, but paid only on cross-lane
+			// traffic that actually changed a head.
+			t.build(sc.lanes)
+			sc.treeStale = false
+		} else {
+			t.fix(int(w))
+		}
+	}
+}
+
+func (sc *ShardedClock) runWindowed(until Time, bounded bool) {
+	defer sc.stopPool()
+	for !sc.stopped.Load() {
+		sc.flushOutboxes()
+		// Re-read λ every window so a smaller latency observed mid-run
+		// shrinks the next window, never the one in progress.
+		la := Time(sc.Lookahead())
+		act := sc.active[:0]
+		var minE *Event
+		minW, secW := maxTime, maxTime
+		minCount := 0
 		for _, ln := range sc.lanes {
 			e := ln.peek()
 			if e == nil {
 				continue
 			}
-			if bestE == nil || keyLess(e, bestE) {
-				bestE, best = e, ln
+			act = append(act, ln)
+			switch {
+			case e.when < minW:
+				secW, minW, minCount = minW, e.when, 1
+			case e.when == minW:
+				minCount++
+			case e.when < secW:
+				secW = e.when
 			}
-		}
-		if bestE == nil || (bounded && bestE.when > until) {
-			return
-		}
-		best.pop()
-		sc.now = bestE.when
-		best.now = bestE.when
-		sc.curShard = bestE.target
-		best.live--
-		bestE.fn()
-		best.executed++
-		sc.curShard = -1
-	}
-}
-
-func (sc *ShardedClock) runWindowed(until Time, bounded bool) {
-	la := Time(sc.Lookahead())
-	for !sc.stopped {
-		sc.flushOutboxes()
-		var minE *Event
-		for _, ln := range sc.lanes {
-			if e := ln.peek(); e != nil && (minE == nil || keyLess(e, minE)) {
+			if minE == nil || keyLess(e, minE) {
 				minE = e
 			}
 		}
-		if minE == nil || (bounded && minE.when > until) {
+		sc.active = act
+		if minE == nil {
+			for _, ln := range sc.lanes {
+				if ln.now > sc.now {
+					sc.now = ln.now
+				}
+			}
 			return
 		}
-		// Lower-bound timestamp: everything below H is safe to execute
-		// because no cross-lane send issued at >= minE.when can arrive
-		// before minE.when + lookahead. An event exactly at H waits for
-		// the next window.
-		h := minE.when + la
-		if h <= minE.when {
-			h = minE.when + 1
+		if bounded && minE.when > until {
+			return
 		}
-		if bounded && h > until+1 {
-			h = until + 1
+		if minE.when > sc.now {
+			sc.now = minE.when
 		}
-		sc.now = minE.when
-		sc.windowH = h
-		sc.windowed = true
-		if sc.workers > 1 && len(sc.lanes) > 1 {
-			var wg sync.WaitGroup
-			for _, ln := range sc.lanes {
-				wg.Add(1)
-				go func(ln *lane) {
-					defer wg.Done()
-					ln.drainWindow(h)
-				}(ln)
+		sc.winLA = la
+		// Per-lane adaptive horizons: lane B is bounded only by the other
+		// non-empty lanes' heads (plus λ). A lane with no busy peer — or
+		// the only busy lane — drains freely to the run bound.
+		for _, ln := range act {
+			other := minW
+			if ln.cachedHead.when == minW && minCount == 1 {
+				other = secW
 			}
-			wg.Wait()
+			limit := maxTime
+			if other < maxTime {
+				limit = other + la
+			}
+			if bounded && limit > until+1 {
+				limit = until + 1
+			}
+			ln.limit = limit
+		}
+		sc.windowed = true
+		if sc.workers > 1 && len(act) > 1 {
+			sc.drainParallel(act)
 		} else {
-			for _, ln := range sc.lanes {
-				ln.drainWindow(h)
+			for _, ln := range act {
+				ln.drainWindow()
 			}
 		}
 		sc.windowed = false
-		sc.now = h - 1
+		sc.windows++
+		// Advance global time to the window floor (exclusive bound all
+		// lanes respected). Mailbox arrivals are always at or past their
+		// receiver's limit, so this never overtakes the next window's
+		// first event.
+		floor := maxTime
+		for _, ln := range act {
+			if ln.limit < floor {
+				floor = ln.limit
+			}
+		}
+		if floor < maxTime && floor-1 > sc.now {
+			sc.now = floor - 1
+		}
 	}
 }
 
@@ -708,7 +1006,10 @@ func (sc *ShardedClock) run(until Time, bounded bool) {
 	}
 	sc.running = true
 	defer func() { sc.running = false }()
-	sc.stopped = false
+	sc.stopped.Store(false)
+	// A previous windowed run interrupted by Stop may have left sends
+	// staged; deliver them before draining in either mode.
+	sc.flushOutboxes()
 	if sc.workers > 0 && sc.Lookahead() > 0 && len(sc.lanes) > 1 {
 		sc.runWindowed(until, bounded)
 	} else {
@@ -735,4 +1036,4 @@ func (sc *ShardedClock) RunFor(d Duration) { sc.RunUntil(sc.now.Add(d)) }
 
 // Stop makes a Run/RunUntil in progress return: after the current event
 // in ladder mode, after the current window in windowed mode.
-func (sc *ShardedClock) Stop() { sc.stopped = true }
+func (sc *ShardedClock) Stop() { sc.stopped.Store(true) }

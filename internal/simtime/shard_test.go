@@ -295,16 +295,16 @@ func TestShardedFarFutureOrdering(t *testing.T) {
 	sc := NewShardedClock(2)
 	v := sc.NewShard()
 	delays := []Duration{
-		500 * Nanosecond,          // level 0
-		3 * Millisecond,           // level 1
-		900 * Millisecond,         // level 2
-		40 * time.Second,          // level 3
-		2 * time.Hour,             // overflow
-		90 * time.Minute,          // overflow
-		17 * time.Second,          // level 3
-		100 * Microsecond,         // level 0
-		65 * Millisecond,          // level 2 boundary-ish
-		260 * Microsecond,         // level 0/1 boundary
+		500 * Nanosecond,  // level 0
+		3 * Millisecond,   // level 1
+		900 * Millisecond, // level 2
+		40 * time.Second,  // level 3
+		2 * time.Hour,     // overflow
+		90 * time.Minute,  // overflow
+		17 * time.Second,  // level 3
+		100 * Microsecond, // level 0
+		65 * Millisecond,  // level 2 boundary-ish
+		260 * Microsecond, // level 0/1 boundary
 	}
 	var fired []Time
 	for _, d := range delays {

@@ -1,0 +1,87 @@
+package simtime
+
+import "sync/atomic"
+
+// winPool is the persistent worker pool for conservative windows. The
+// old implementation spawned one goroutine per lane per window plus a
+// sync.WaitGroup; at µs-scale windows the spawn/join cost dominated.
+// The pool keeps (workers-1) long-lived helper goroutines parked on
+// per-worker wake channels; each window the driver publishes the active
+// lane set, wakes the helpers, and participates in the drain itself.
+// Lanes are claimed wait-free off a shared atomic cursor, so an
+// early-finishing worker steals the remaining lanes instead of idling.
+//
+// Memory ordering: the driver writes lane state and p.act strictly
+// before the wake sends, and helpers write lane state strictly before
+// the done sends, so all cross-goroutine access is ordered by the
+// channels; only the cursor needs an atomic.
+//
+// Pools are per-run: runWindowed creates helpers lazily at the first
+// parallel window and closes them when the run returns, so idle engines
+// (tests create thousands) never hold goroutines alive.
+type winPool struct {
+	cursor atomic.Int32
+	act    []*lane
+	wake   []chan struct{}
+	done   chan struct{}
+	quit   chan struct{}
+}
+
+// drain claims and drains lanes until the cursor passes the active set.
+func (p *winPool) drain() {
+	for {
+		i := int(p.cursor.Add(1)) - 1
+		if i >= len(p.act) {
+			return
+		}
+		p.act[i].drainWindow()
+	}
+}
+
+func (p *winPool) worker(wake chan struct{}) {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-wake:
+			p.drain()
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// drainParallel runs one window's active lanes on up to sc.workers
+// goroutines (including the calling driver).
+func (sc *ShardedClock) drainParallel(act []*lane) {
+	nw := sc.workers
+	if nw > len(act) {
+		nw = len(act)
+	}
+	if sc.pool == nil {
+		sc.pool = &winPool{done: make(chan struct{}, nw-1), quit: make(chan struct{})}
+	}
+	p := sc.pool
+	for len(p.wake) < nw-1 {
+		ch := make(chan struct{}, 1)
+		p.wake = append(p.wake, ch)
+		go p.worker(ch)
+	}
+	p.act = act
+	p.cursor.Store(0)
+	for i := 0; i < nw-1; i++ {
+		p.wake[i] <- struct{}{}
+	}
+	p.drain()
+	for i := 0; i < nw-1; i++ {
+		<-p.done
+	}
+}
+
+// stopPool tears down the run's helper goroutines (no-op when no
+// parallel window ever ran).
+func (sc *ShardedClock) stopPool() {
+	if sc.pool != nil {
+		close(sc.pool.quit)
+		sc.pool = nil
+	}
+}
