@@ -32,6 +32,15 @@
 //	bench7         BENCH_7.json: parallel windowed throughput on a
 //	               64-host / 256-pair fleet, ladder lanes 1/2/4/8 vs
 //	               windowed lanes x workers grid, as JSON on stdout
+//	traffic        Trace tooling (DESIGN.md §14): -synth <profile> writes
+//	               a synthesized JSONL trace to stdout, -capture <bench>
+//	               records a uniform client run into a trace, -replay
+//	               reads a trace from stdin and replays it through a
+//	               chaos campaign with windowed SLO judging (-smoke for
+//	               the clean fault-free CI shape)
+//	bench8         BENCH_8.json: client-observed SLO ladder — uniform vs
+//	               zipf vs burst traces through a mid-run failover, as
+//	               JSON on stdout
 //	scale-threads  Streamcluster 1..32 threads
 //	scale-clients  Lighttpd 2..128 clients
 //	scale-procs    Lighttpd 1..8 processes
@@ -70,6 +79,8 @@ import (
 	"nilicon/internal/harness"
 	"nilicon/internal/report"
 	"nilicon/internal/simtime"
+	"nilicon/internal/traffic"
+	"nilicon/internal/workloads"
 )
 
 func main() {
@@ -85,6 +96,7 @@ type app struct {
 	fs     *flag.FlagSet
 	stdout io.Writer
 	stderr io.Writer
+	stdin  io.Reader
 
 	seed     *int64
 	warmup   *time.Duration
@@ -107,6 +119,13 @@ type app struct {
 	degrade  *string
 	shards   *int
 	workers  *int
+	synth    *string
+	capture  *string
+	replay   *bool
+	traceF   *string
+	tClients *int
+	tRate    *float64
+	tDur     *time.Duration
 	cpuprof  *string
 	memprof  *string
 
@@ -115,7 +134,7 @@ type app struct {
 }
 
 func newApp(stdout, stderr io.Writer) *app {
-	a := &app{stdout: stdout, stderr: stderr}
+	a := &app{stdout: stdout, stderr: stderr, stdin: os.Stdin}
 	fs := flag.NewFlagSet("niliconctl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	a.fs = fs
@@ -140,10 +159,17 @@ func newApp(stdout, stderr io.Writer) *app {
 	a.degrade = fs.String("degrade", "strict", "chaos/fleet: lease degradation policy (strict|availability)")
 	a.shards = fs.Int("shards", 0, "chaos/fleet: simulation engine (0 = serial clock; N>=1 = sharded event wheels with N lanes, trace-identical for any N)")
 	a.workers = fs.Int("workers", 0, "chaos/fleet: window-drain goroutines for the sharded engine (0 = ladder mode; N>=1 = conservative windows, trace-identical for any N)")
+	a.synth = fs.String("synth", "", "traffic: synthesize a trace from this profile (uniform|zipf|burst|slowclient) to stdout")
+	a.capture = fs.String("capture", "", "traffic: run this server benchmark's uniform clients under capture and write the recorded trace to stdout")
+	a.replay = fs.Bool("replay", false, "traffic: read a JSONL trace from stdin and replay it through a chaos campaign with SLO judging")
+	a.traceF = fs.String("traffic", "", "chaos: replay this JSONL trace file as the campaign's client workload (replaces the fixed-interval writer)")
+	a.tClients = fs.Int("clients", 8, "traffic: client connections for -synth/-capture")
+	a.tRate = fs.Float64("rate", 600, "traffic -synth: mean arrival rate (req/s)")
+	a.tDur = fs.Duration("traffic-duration", 2500*time.Millisecond, "traffic: trace length for -synth, run length for -capture (virtual)")
 	a.cpuprof = fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	a.memprof = fs.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|bench|chaos|fleet|fleetbench|bench5|bench6|bench7|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
+		fmt.Fprintf(stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|bench|chaos|fleet|fleetbench|bench5|bench6|bench7|traffic|bench8|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
 		fs.PrintDefaults()
 	}
 	return a
@@ -273,6 +299,7 @@ func (a *app) validate() error {
 var commands = []string{
 	"table1", "table2", "fig3", "table6", "validate", "pipeline", "bench",
 	"chaos", "fleet", "fleetbench", "bench5", "bench6", "bench7",
+	"traffic", "bench8",
 	"scale-threads", "scale-clients", "scale-procs", "report", "timeline", "all",
 }
 
@@ -320,6 +347,10 @@ func (a *app) runCommand(name string) error {
 		return a.runBench6()
 	case "bench7":
 		return a.runBench7()
+	case "traffic":
+		return a.runTraffic()
+	case "bench8":
+		return a.runBench8()
 	case "scale-threads":
 		return a.runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunScaleThreads(nil, rc); return tb })
 	case "scale-clients":
@@ -392,18 +423,130 @@ func (a *app) runChaos() error {
 	if opts == nil {
 		return fmt.Errorf("unknown option set %q", *a.optsName)
 	}
-	res := chaos.VerifySeed(chaos.Config{
+	cfg := chaos.Config{
 		Seed: *a.seed, Opts: *opts, OptName: *a.optsName,
 		Duration: simtime.Duration(*a.chaosDur),
 		Degrade:  a.degradePol,
 		Shards:   *a.shards,
 		Workers:  *a.workers,
-	})
+	}
+	if *a.traceF != "" {
+		f, err := os.Open(*a.traceF)
+		if err != nil {
+			return fmt.Errorf("-traffic: %v", err)
+		}
+		tr, err := traffic.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Traffic = tr
+	}
+	res := chaos.VerifySeed(cfg)
 	fmt.Fprint(a.stdout, res.Trace)
 	if !res.Passed {
 		return fmt.Errorf("campaign failed (seed %d, opts %s)", *a.seed, *a.optsName)
 	}
 	return nil
+}
+
+// runTraffic dispatches the trace tooling: exactly one of -synth,
+// -capture, -replay.
+func (a *app) runTraffic() error {
+	modes := 0
+	for _, on := range []bool{*a.synth != "", *a.capture != "", *a.replay} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("traffic: pick exactly one of -synth <profile>, -capture <benchmark>, -replay")
+	}
+	switch {
+	case *a.synth != "":
+		cfg, err := traffic.Profile(*a.synth, *a.seed)
+		if err != nil {
+			return err
+		}
+		cfg.Clients = *a.tClients
+		cfg.Rate = *a.tRate
+		cfg.Duration = simtime.Duration(*a.tDur)
+		return traffic.Synthesize(cfg).Encode(a.stdout)
+	case *a.capture != "":
+		return a.runTrafficCapture()
+	default:
+		return a.runTrafficReplay()
+	}
+}
+
+// runTrafficCapture runs the benchmark's uniform client set against a
+// live server with the trace recorder attached, and emits the capture.
+func (a *app) runTrafficCapture() error {
+	wl, err := workloads.ByName(*a.capture)
+	if err != nil {
+		return err
+	}
+	sv, ok := wl.(workloads.ServerWorkload)
+	if !ok {
+		return fmt.Errorf("traffic: -capture needs a server benchmark, %q runs to completion", *a.capture)
+	}
+	clock := simtime.NewClock()
+	cl := core.NewCluster(clock, core.ClusterParams{})
+	sv.Install(cl.NewProtectedContainer(*a.capture, "10.0.0.10", 1))
+	set := sv.NewClients(cl, "10.0.0.10", *a.tClients, *a.seed)
+	set.Capture = traffic.NewRecorder("capture:"+*a.capture, len(set.Clients), clock.Now())
+	clock.RunFor(simtime.Duration(*a.tDur))
+	tr, err := set.Capture.Trace()
+	if err != nil {
+		return err
+	}
+	return tr.Encode(a.stdout)
+}
+
+// runTrafficReplay reads a JSONL trace from stdin and replays it through
+// a chaos campaign with windowed SLO judging. The default shape drives
+// the trace through a terminal primary kill (the trace should outlast
+// -chaos-duration so the kill lands mid-run); -smoke runs the clean
+// fault-free CI shape instead, where the slo-windows oracle requires
+// zero violation windows.
+func (a *app) runTrafficReplay() error {
+	tr, err := traffic.Parse(a.stdin)
+	if err != nil {
+		return err
+	}
+	cfg := chaos.Config{
+		Seed: *a.seed, Opts: core.AllOpts(), OptName: "traffic-replay",
+		Duration: simtime.Duration(*a.chaosDur),
+		Terminal: chaos.TerminalKill, Events: -1,
+		Traffic: tr,
+		Degrade: a.degradePol,
+		Shards:  *a.shards,
+		Workers: *a.workers,
+	}
+	if *a.smoke {
+		cfg.Terminal = chaos.TerminalNone
+		cfg.Duration = tr.Duration() + 100*simtime.Millisecond
+	}
+	res := chaos.VerifySeed(cfg)
+	fmt.Fprint(a.stdout, res.Trace)
+	if !res.Passed {
+		return fmt.Errorf("trace replay failed (seed %d)", *a.seed)
+	}
+	return nil
+}
+
+func (a *app) runBench8() error {
+	rep := harness.RunBench8(*a.seed)
+	fmt.Fprintln(a.stderr, harness.Bench8Table(rep))
+	if !rep.AllPassed {
+		return fmt.Errorf("bench8: a profile failed its oracles")
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = a.stdout.Write(out)
+	return err
 }
 
 func (a *app) runFleet() error {

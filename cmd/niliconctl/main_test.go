@@ -62,3 +62,28 @@ func TestChaosReplayInvocation(t *testing.T) {
 		t.Fatalf("campaign verdicts failed:\n%s", out)
 	}
 }
+
+// TestTrafficSynthReplayPipe runs the CI pipe through the real CLI
+// entry point: synthesize a trace, replay it in the clean -smoke shape,
+// and check the SLO verdict; a modeless traffic invocation is rejected.
+func TestTrafficSynthReplayPipe(t *testing.T) {
+	var trace, stderr bytes.Buffer
+	if code := newApp(&trace, &stderr).run(
+		[]string{"traffic", "-synth", "uniform", "-traffic-duration", "500ms"}); code != 0 {
+		t.Fatalf("synth exit=%d stderr=%s", code, stderr.String())
+	}
+	var out, stderr2 bytes.Buffer
+	a := newApp(&out, &stderr2)
+	a.stdin = &trace
+	if code := a.run([]string{"traffic", "-replay", "-smoke"}); code != 0 {
+		t.Fatalf("replay exit=%d stderr=%s", code, stderr2.String())
+	}
+	if !strings.Contains(out.String(), "verdict slo-windows PASS") {
+		t.Fatalf("missing slo-windows verdict:\n%s", out.String())
+	}
+	var o3, e3 bytes.Buffer
+	if code := newApp(&o3, &e3).run([]string{"traffic"}); code != 1 ||
+		!strings.Contains(e3.String(), "pick exactly one") {
+		t.Fatalf("bare traffic: code=%d stderr=%s", code, e3.String())
+	}
+}

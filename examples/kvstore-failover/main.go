@@ -27,7 +27,9 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.ExtraStopPerCheckpoint = server.Profile().TotalExtraStop()
 	cfg.Reattach = func(rc core.RestoredContainer, state any) {
-		workloads.Redis().Reattach(rc, state)
+		if err := workloads.Redis().Reattach(rc, state); err != nil {
+			fmt.Printf("reattach failed: %v\n", err)
+		}
 	}
 	repl := core.NewReplicator(cluster, ctr, cfg)
 	repl.Start()

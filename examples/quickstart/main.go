@@ -32,7 +32,9 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.ExtraStopPerCheckpoint = server.Profile().TotalExtraStop()
 	cfg.Reattach = func(rc core.RestoredContainer, state any) {
-		workloads.Redis().Reattach(rc, state)
+		if err := workloads.Redis().Reattach(rc, state); err != nil {
+			fmt.Printf("reattach failed: %v\n", err)
+		}
 	}
 	cfg.OnRecovered = func(_ core.RestoredContainer, st core.RecoveryStats) {
 		fmt.Printf("RECOVERED: restore=%v arp=%v other=%v (epoch %d)\n",

@@ -22,7 +22,9 @@ func TestEndToEndFailover(t *testing.T) {
 	cfg := core.DefaultConfig()
 	cfg.ExtraStopPerCheckpoint = server.Profile().TotalExtraStop()
 	cfg.Reattach = func(rc core.RestoredContainer, state any) {
-		workloads.Redis().Reattach(rc, state)
+		if err := workloads.Redis().Reattach(rc, state); err != nil {
+			t.Errorf("reattach: %v", err)
+		}
 	}
 	repl := core.NewReplicator(cluster, ctr, cfg)
 	repl.Start()

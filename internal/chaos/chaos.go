@@ -29,6 +29,7 @@ import (
 	"nilicon/internal/faultinject"
 	"nilicon/internal/simtime"
 	"nilicon/internal/trace"
+	"nilicon/internal/traffic"
 )
 
 // Terminal phases.
@@ -52,8 +53,25 @@ type Config struct {
 	// or TerminalReprotect.
 	Terminal string
 	// Events overrides the number of transient fault events (0 draws
-	// 2–6 from the seed).
+	// 2–6 from the seed; a negative value means zero events — a clean
+	// run whose only disruption is the terminal phase).
 	Events int
+	// Traffic, when set, replaces the fixed-interval writer with an
+	// open-loop replay of this trace: one TCP connection per trace
+	// client, arrivals fired at trace time regardless of completions,
+	// every reply judged against SLO. The fault window is still
+	// Duration; a trace longer than it keeps arriving through the
+	// terminal phase (a terminal kill becomes a mid-run failover),
+	// while a TerminalNone campaign wants the trace to fit inside
+	// Duration so arrivals do not bleed into the quiesce epilogue.
+	Traffic *traffic.Trace
+	// SLO configures the windowed latency judge (zero values take the
+	// traffic package defaults: p99.9 < 100 ms per 100 ms window).
+	SLO traffic.SLO
+	// SLOSlack pads the fault-injection intervals when the slo-windows
+	// oracle checks that every violation window coincides with an
+	// injected disruption. Default 500 ms.
+	SLOSlack simtime.Duration
 	// PreLease disables output-commit lease arbitration, reverting to
 	// the pre-lease detector behavior. It exists for the split-brain
 	// regression: the same seed that passes the at-most-one-serving
@@ -114,6 +132,10 @@ type Result struct {
 	AckedWrites int
 	SentWrites  int
 	Failovers   int
+
+	// SLO holds the windowed latency evaluation (nil unless the
+	// campaign ran under Config.Traffic).
+	SLO *traffic.Report
 }
 
 // Campaign phase layout (virtual time).
@@ -147,6 +169,15 @@ type campaign struct {
 	recoveredAt simtime.Time
 	failovers   int
 	replays     []*core.ReplayStats
+
+	// Traffic mode (cfg.Traffic != nil). killDrains[i] is when the
+	// client-visible backlog from kill i finished draining — the real
+	// end of that disruption from the clients' point of view.
+	traffic     *trafficDriver
+	kills       []simtime.Time
+	killDrains  []simtime.Time
+	killPending bool
+	sloReport   *traffic.Report
 
 	ocChecks     int
 	ocViolations int
@@ -239,6 +270,7 @@ func (c *campaign) build() {
 func (c *campaign) onRecovered(rc core.RestoredContainer, stats core.RecoveryStats) {
 	c.recovered = true
 	c.recoveredAt = c.clock.Now()
+	c.killPending = false
 	c.failovers++
 	c.eventf("recovered epoch=%d detect=%d", stats.CommittedEpoch, int64(stats.DetectedAt))
 	if c.cfg.Opts.RecordReplay {
@@ -262,6 +294,12 @@ func (c *campaign) emitHeader() {
 	}
 	fmt.Fprintf(&c.trace, "chaos seed=%d opts=%s duration=%s terminal=%s lease=%s degrade=%s\n",
 		c.cfg.Seed, c.cfg.OptName, c.cfg.Duration, c.sched.terminal, lease, c.cfg.Degrade)
+	if tr := c.cfg.Traffic; tr != nil {
+		slo := c.cfg.SLO.WithDefaults()
+		fmt.Fprintf(&c.trace, "traffic name=%s reqs=%d clients=%d keys=%d dur=%s slo=p%v<%s/%s\n",
+			tr.Header.Name, len(tr.Reqs), tr.Header.Clients, tr.Header.Keys, tr.Duration(),
+			slo.Quantile, slo.Target, slo.Window)
+	}
 	for _, ev := range c.sched.events {
 		fmt.Fprintf(&c.trace, "sched at=%d kind=%s for=%d\n", int64(ev.At), ev.Kind, int64(ev.For))
 	}
@@ -278,37 +316,49 @@ func (c *campaign) execute() {
 	c.oracleTicker = simtime.NewTicker(c.clock, simtime.Millisecond, func() {
 		c.checkOutputCommit()
 		c.checkServing()
+		if c.traffic != nil {
+			c.sampleTraffic()
+		}
 	})
 
-	// Writer: one unique SET every 10 ms over a real TCP connection.
-	// Connect before the first epoch boundary: the unoptimized
-	// configuration drops input (firewall rules, §V-C) during its long
-	// stop phases, and a SYN that keeps missing the short open windows
-	// may never get through — the campaign needs an established
-	// connection under every option set.
-	c.clock.Schedule(simtime.Millisecond, func() {
-		c.cli = newKVClient(c.cl, "10.0.0.1", "10.0.0.10")
-	})
 	writeUntil := warmup + c.cfg.Duration
-	var writer *simtime.Ticker
-	c.clock.Schedule(warmup, func() {
-		writer = simtime.NewTicker(c.clock, writeEvery, func() {
-			if simtime.Duration(c.clock.Now()) >= writeUntil {
-				writer.Stop()
-				return
-			}
-			// Under the unoptimized configuration the first full
-			// checkpoint freezes the container for hundreds of
-			// milliseconds, so the handshake may still be buffered when
-			// the writer starts; skip ticks until the connection is up
-			// (virtual time only — stays deterministic).
-			if c.cli.sock == nil {
-				return
-			}
-			c.cli.send(fmt.Sprintf("SET k%d v%d", c.keysSent, c.keysSent))
-			c.keysSent++
+	if c.cfg.Traffic != nil {
+		// Trace-driven open-loop replay (traffic.go) instead of the
+		// fixed-interval writer. The fault window stays cfg.Duration; a
+		// trace longer than it keeps arriving straight through the
+		// terminal phase — that is what makes a terminal kill a mid-run
+		// failover from the clients' point of view.
+		c.startTraffic()
+	} else {
+		// Writer: one unique SET every 10 ms over a real TCP connection.
+		// Connect before the first epoch boundary: the unoptimized
+		// configuration drops input (firewall rules, §V-C) during its long
+		// stop phases, and a SYN that keeps missing the short open windows
+		// may never get through — the campaign needs an established
+		// connection under every option set.
+		c.clock.Schedule(simtime.Millisecond, func() {
+			c.cli = newKVClient(c.cl, "10.0.0.1", "10.0.0.10")
 		})
-	})
+		var writer *simtime.Ticker
+		c.clock.Schedule(warmup, func() {
+			writer = simtime.NewTicker(c.clock, writeEvery, func() {
+				if simtime.Duration(c.clock.Now()) >= writeUntil {
+					writer.Stop()
+					return
+				}
+				// Under the unoptimized configuration the first full
+				// checkpoint freezes the container for hundreds of
+				// milliseconds, so the handshake may still be buffered when
+				// the writer starts; skip ticks until the connection is up
+				// (virtual time only — stays deterministic).
+				if c.cli.sock == nil {
+					return
+				}
+				c.cli.send(fmt.Sprintf("SET k%d v%d", c.keysSent, c.keysSent))
+				c.keysSent++
+			})
+		})
+	}
 
 	// Transient fault events, drawn entirely up front from the seed.
 	for _, ev := range c.sched.events {
@@ -319,8 +369,15 @@ func (c *campaign) execute() {
 	}
 
 	c.clock.RunUntil(simtime.Time(writeUntil + terminalGap))
-	c.ackedAtStop = c.cli.okReplies()
-	c.eventf("writer-stopped sent=%d acked=%d", c.keysSent, c.ackedAtStop)
+	if c.traffic != nil {
+		c.keysSent = c.traffic.rep.Issued()
+		c.ackedAtStop = c.traffic.judge.Completions()
+		c.eventf("traffic-fault-window-end issued=%d completed=%d outstanding=%d queued=%d",
+			c.keysSent, c.ackedAtStop, c.traffic.rep.Outstanding(), c.traffic.rep.QueuedClientSide())
+	} else {
+		c.ackedAtStop = c.cli.okReplies()
+		c.eventf("writer-stopped sent=%d acked=%d", c.keysSent, c.ackedAtStop)
+	}
 
 	// Closely spaced replication-link cuts can legitimately trip the
 	// failure detector (heartbeats gone > 3 intervals across two cuts);
@@ -362,13 +419,20 @@ func (c *campaign) execute() {
 	// Read-back verification runs with the survivor still serving; for
 	// the no-terminal campaign replication is still active, so the GET
 	// replies themselves traverse the output-commit path.
-	c.verifyData()
+	if c.traffic != nil {
+		c.verifyTrafficData()
+	} else {
+		c.verifyData()
+	}
 	if c.sched.terminal == TerminalNone {
 		if c.failovers == 0 {
 			c.quiesceDrain()
 		} else {
 			c.eventf("drain-skipped failovers=%d", c.failovers)
 		}
+	}
+	if c.traffic != nil {
+		c.finishTraffic()
 	}
 	c.oracleTicker.Stop()
 }
@@ -401,6 +465,8 @@ func (c *campaign) inject(ev event) {
 }
 
 func (c *campaign) kill(label string) {
+	c.kills = append(c.kills, c.clock.Now())
+	c.killPending = true
 	faultinject.HardKill(c.repl)
 	// The dead host schedules nothing further: without this, the killed
 	// replicator's epoch engine would keep checkpointing the stopped
@@ -642,6 +708,7 @@ func (c *campaign) finish() Result {
 		AckedWrites: c.ackedAtStop,
 		SentWrites:  c.keysSent,
 		Failovers:   c.failovers,
+		SLO:         c.sloReport,
 	}
 	res.Passed = true
 	for _, v := range c.verdicts {

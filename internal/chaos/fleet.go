@@ -9,6 +9,7 @@ import (
 	"nilicon/internal/core"
 	"nilicon/internal/simnet"
 	"nilicon/internal/simtime"
+	"nilicon/internal/traffic"
 )
 
 // Fleet campaigns extend the single-pair chaos engine to host
@@ -58,6 +59,13 @@ type FleetConfig struct {
 	// legal and the trace stays byte-identical). Named to avoid clashing
 	// with Workers, the host-pool field above. Requires Shards >= 1.
 	EngineWorkers int
+	// Traffic, when set, replaces the per-pair fixed-interval writers
+	// with an open-loop replay of this trace against every pair, judged
+	// fleet-wide against SLO (see fleettraffic.go). SLOSlack pads the
+	// kill interval for the slo-windows oracle (default 500 ms).
+	Traffic  *traffic.Trace
+	SLO      traffic.SLO
+	SLOSlack simtime.Duration
 }
 
 func (cfg *FleetConfig) defaults() {
@@ -120,6 +128,10 @@ type fleetCampaign struct {
 	svChecks     int
 	svViolations int
 	svDetail     string
+
+	// Traffic mode (cfg.Traffic != nil).
+	traffic   *fleetTraffic
+	sloReport *traffic.Report
 }
 
 // RunFleet executes one fleet campaign.
@@ -244,6 +256,12 @@ func (c *fleetCampaign) emitHeader() {
 	fmt.Fprintf(&c.trace, "chaos-fleet seed=%d opts=%s pairs=%d workers=%d spares=%d duration=%s lease=%s degrade=%s\n",
 		c.cfg.Seed, c.cfg.OptName, c.cfg.Pairs, c.cfg.Workers, c.cfg.Spares, c.cfg.Duration, lease, c.cfg.Degrade)
 	fmt.Fprintf(&c.trace, "sched kill-at=%d victims=%v\n", int64(c.killAt), c.victims)
+	if tr := c.cfg.Traffic; tr != nil {
+		slo := c.cfg.SLO.WithDefaults()
+		fmt.Fprintf(&c.trace, "traffic name=%s reqs=%d clients=%d keys=%d dur=%s slo=p%v<%s/%s\n",
+			tr.Header.Name, len(tr.Reqs), tr.Header.Clients, tr.Header.Keys, tr.Duration(),
+			slo.Quantile, slo.Target, slo.Window)
+	}
 }
 
 func (c *fleetCampaign) execute() {
@@ -253,35 +271,44 @@ func (c *fleetCampaign) execute() {
 	oracle := simtime.NewTicker(c.clock, simtime.Millisecond, func() {
 		c.checkOutputCommit()
 		c.checkServing()
-	})
-
-	// One client per pair on the shared LAN, connected early so even a
-	// long first checkpoint cannot starve the handshake.
-	c.clock.Schedule(simtime.Millisecond, func() {
-		for i, pr := range f.Pairs {
-			ip := simnet.Addr(fmt.Sprintf("10.2.0.%d", i+1))
-			c.clients[i] = newKVClientOn(f.NewClient(ip), pr.IP)
+		if c.traffic != nil {
+			c.sampleTraffic()
 		}
 	})
 
-	// Writers: every pair gets one unique SET every 10 ms.
 	writeUntil := fleetWarmup + c.cfg.Duration
-	var writer *simtime.Ticker
-	c.clock.Schedule(fleetWarmup, func() {
-		writer = simtime.NewTicker(c.clock, writeEvery, func() {
-			if simtime.Duration(c.clock.Now()) >= writeUntil {
-				writer.Stop()
-				return
-			}
-			for i := range c.clients {
-				if c.clients[i].sock == nil {
-					continue
-				}
-				c.clients[i].send(fmt.Sprintf("SET k%d v%d", c.sent[i], c.sent[i]))
-				c.sent[i]++
+	if c.cfg.Traffic != nil {
+		// Trace-driven open-loop replay against every pair
+		// (fleettraffic.go) instead of the fixed-interval writers.
+		c.startTraffic()
+	} else {
+		// One client per pair on the shared LAN, connected early so even a
+		// long first checkpoint cannot starve the handshake.
+		c.clock.Schedule(simtime.Millisecond, func() {
+			for i, pr := range f.Pairs {
+				ip := simnet.Addr(fmt.Sprintf("10.2.0.%d", i+1))
+				c.clients[i] = newKVClientOn(f.NewClient(ip), pr.IP)
 			}
 		})
-	})
+
+		// Writers: every pair gets one unique SET every 10 ms.
+		var writer *simtime.Ticker
+		c.clock.Schedule(fleetWarmup, func() {
+			writer = simtime.NewTicker(c.clock, writeEvery, func() {
+				if simtime.Duration(c.clock.Now()) >= writeUntil {
+					writer.Stop()
+					return
+				}
+				for i := range c.clients {
+					if c.clients[i].sock == nil {
+						continue
+					}
+					c.clients[i].send(fmt.Sprintf("SET k%d v%d", c.sent[i], c.sent[i]))
+					c.sent[i]++
+				}
+			})
+		})
+	}
 
 	// The host kills: all victims in the same virtual-time instant.
 	expFailovers, expFences := 0, 0
@@ -299,13 +326,25 @@ func (c *fleetCampaign) execute() {
 		for _, v := range c.victims {
 			f.KillHost(v)
 		}
+		if c.traffic != nil {
+			c.traffic.killFired = true
+		}
 	})
 
 	c.clock.RunUntil(simtime.Time(writeUntil + terminalGap))
-	for i := range c.clients {
-		c.acked[i] = c.clients[i].okReplies()
+	if c.traffic != nil {
+		issued, completed := 0, 0
+		for _, rep := range c.traffic.reps {
+			issued += rep.Issued()
+		}
+		completed = c.traffic.judge.Completions()
+		c.eventf("traffic-fault-window-end issued=%d completed=%d", issued, completed)
+	} else {
+		for i := range c.clients {
+			c.acked[i] = c.clients[i].okReplies()
+		}
+		c.eventf("writers-stopped sent=%d acked=%d", sum(c.sent), sum(c.acked))
 	}
-	c.eventf("writers-stopped sent=%d acked=%d", sum(c.sent), sum(c.acked))
 
 	// Convergence: every pair back to Protected, with the expected
 	// failover and fence counts, within the bound.
@@ -325,8 +364,15 @@ func (c *fleetCampaign) execute() {
 			gotFailovers, expFailovers, gotFences, expFences, c.stateSummary(), int64(c.clock.Now())),
 	})
 
-	c.verifyData()
+	if c.traffic != nil {
+		c.verifyTrafficData()
+	} else {
+		c.verifyData()
+	}
 	c.quiesceDrain()
+	if c.traffic != nil {
+		c.finishTraffic()
+	}
 	oracle.Stop()
 }
 
@@ -542,6 +588,13 @@ func (c *fleetCampaign) finish() Result {
 		AckedWrites: sum(c.acked),
 		SentWrites:  sum(c.sent),
 		Failovers:   failovers,
+		SLO:         c.sloReport,
+	}
+	if ft := c.traffic; ft != nil {
+		for _, rep := range ft.reps {
+			res.SentWrites += rep.Issued()
+		}
+		res.AckedWrites = ft.judge.Completions()
 	}
 	res.Passed = true
 	for _, v := range c.verdicts {

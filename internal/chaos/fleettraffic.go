@@ -1,0 +1,246 @@
+package chaos
+
+import (
+	"fmt"
+
+	"nilicon/internal/simnet"
+	"nilicon/internal/simtime"
+	"nilicon/internal/traffic"
+)
+
+// fleetTraffic is the fleet campaign's trace-replay driver: the same
+// trace is replayed open-loop against every pair (one replayer and one
+// connection set per pair), all completions judged by a single shared
+// judge — the fleet-level SLO is "what any client of any pair
+// observed". The host kills are the only scheduled disruption, so the
+// slo-windows oracle checks every violation window against the
+// kill→drain interval alone.
+type fleetTraffic struct {
+	judge *traffic.Judge
+	reps  []*traffic.Replayer
+	conns [][]*trafficConn
+
+	// wrote is shared across pairs: every pair replays the same trace,
+	// so the acceptable read-back set per key is identical.
+	wrote map[uint64]map[uint64]bool
+
+	killFired bool
+	drainedAt simtime.Time
+	drained   bool
+}
+
+// startTraffic builds per-pair connection sets and schedules every
+// pair's open-loop replay from fleetWarmup.
+func (c *fleetCampaign) startTraffic() {
+	tr := c.cfg.Traffic
+	ft := &fleetTraffic{
+		judge: traffic.NewJudge(c.cfg.SLO),
+		wrote: make(map[uint64]map[uint64]bool),
+	}
+	ft.reps = make([]*traffic.Replayer, c.cfg.Pairs)
+	ft.conns = make([][]*trafficConn, c.cfg.Pairs)
+	for p := 0; p < c.cfg.Pairs; p++ {
+		ft.reps[p] = traffic.NewReplayer(c.clock, tr, ft.judge)
+		ft.conns[p] = make([]*trafficConn, tr.Header.Clients)
+		for i := range ft.conns[p] {
+			tc := &trafficConn{wrote: ft.wrote}
+			ft.conns[p][i] = tc
+			ft.reps[p].SetConn(i, tc)
+		}
+	}
+	c.traffic = ft
+
+	c.clock.Schedule(simtime.Millisecond, func() {
+		for p, pr := range c.fleet.Pairs {
+			for i, tc := range ft.conns[p] {
+				tc := tc
+				rep := ft.reps[p]
+				ip := simnet.Addr(fmt.Sprintf("10.3.%d.%d", p+1, i+1))
+				tc.cli = newKVClientOn(c.fleet.NewClient(ip), pr.IP)
+				tc.cli.onReply = func(string) { rep.Completed(indexOfConn(ft.conns[p], tc)) }
+			}
+		}
+	})
+	c.clock.Schedule(fleetWarmup, func() {
+		start := c.clock.Now()
+		for _, rep := range ft.reps {
+			rep.Start(start)
+		}
+	})
+}
+
+func indexOfConn(conns []*trafficConn, tc *trafficConn) int {
+	for i, c := range conns {
+		if c == tc {
+			return i
+		}
+	}
+	panic("chaos: unknown traffic conn")
+}
+
+// sampleTraffic is the fleet oracle ticker's limiting-factor probe —
+// the per-pair signals OR together: the SLO is judged fleet-wide, so a
+// window is attributed to checkpoint stall if any pair's serving
+// container was frozen while clients waited, and so on.
+func (c *fleetCampaign) sampleTraffic() {
+	ft := c.traffic
+	for _, conns := range ft.conns {
+		for _, tc := range conns {
+			tc.flush()
+		}
+	}
+
+	var f traffic.Factors
+	nobody := false
+	for _, pr := range c.fleet.Pairs {
+		ctr := pr.Repl.Ctr
+		if pr.Repl.Backup.Serving() && pr.Repl.Backup.RestoredCtr != nil {
+			ctr = pr.Repl.Backup.RestoredCtr
+		}
+		if ctr.Frozen() {
+			f.CheckpointStall = true
+		}
+		if pr.Repl.Fenced() {
+			f.Fence = true
+		}
+		if !pr.Repl.Serving() && !pr.Repl.Backup.Serving() {
+			nobody = true
+		}
+	}
+	outstanding, queued := 0, 0
+	for _, rep := range ft.reps {
+		outstanding += rep.Outstanding()
+		queued += rep.QueuedClientSide()
+	}
+	if ft.killFired && !ft.drained && outstanding == 0 && queued == 0 {
+		ft.drained = true
+		ft.drainedAt = c.clock.Now()
+	}
+	postKillDrain := ft.killFired && !ft.drained
+	_, flowQueued := c.fleet.DrainStats()
+	f.TransferBacklog = flowQueued > trafficBacklogBytes
+	f.ReplayCPU = nobody && c.cfg.Opts.RecordReplay
+	f.Fence = (f.Fence || nobody || postKillDrain) && !f.ReplayCPU
+	f.ClientQueue = queued > 0
+	ft.judge.Sample(c.clock.Now(), f)
+}
+
+// verifyTrafficData is the fleet traffic-mode acked-output oracle:
+// every key the trace ever SET must read back, on every pair, as v<id>
+// for some id written to that key.
+func (c *fleetCampaign) verifyTrafficData() {
+	ft := c.traffic
+	if len(ft.wrote) == 0 {
+		return
+	}
+	if !c.cfg.Opts.PlugInput {
+		c.verdicts = append(c.verdicts, Verdict{Oracle: "traffic-data", OK: true,
+			Detail: "skipped: firewall input blocking drops client segments for seconds-long RTO backoffs"})
+		return
+	}
+	c.clock.RunFor(2 * simtime.Second)
+
+	keys := make([]uint64, 0, len(ft.wrote))
+	for k := range ft.wrote {
+		keys = append(keys, k)
+	}
+	sortUint64(keys)
+
+	verifiers := make([]*kvClient, len(c.fleet.Pairs))
+	for p, pr := range c.fleet.Pairs {
+		ip := simnet.Addr(fmt.Sprintf("10.4.0.%d", p+1))
+		verifiers[p] = newKVClientOn(c.fleet.NewClient(ip), pr.IP)
+	}
+	c.clock.RunFor(200 * simtime.Millisecond)
+	for _, k := range keys {
+		for _, v := range verifiers {
+			if v.sock != nil {
+				v.send(fmt.Sprintf("GET k%d", k))
+			}
+		}
+		c.clock.RunFor(2 * simtime.Millisecond)
+	}
+	deadline := c.clock.Now().Add(fleetConvergeIn)
+	pending := func() bool {
+		for _, v := range verifiers {
+			if v.sock != nil && len(v.replies) < len(keys) {
+				return true
+			}
+		}
+		return false
+	}
+	for pending() && c.clock.Now() < deadline {
+		c.clock.RunFor(10 * simtime.Millisecond)
+	}
+
+	ok := true
+	detail := fmt.Sprintf("%d keys × %d pairs read back to recorded writes", len(keys), len(verifiers))
+	for p, v := range verifiers {
+		if v.sock == nil {
+			ok = false
+			detail = fmt.Sprintf("pair %d: verification connection never established", p)
+			break
+		}
+		if len(v.replies) < len(keys) {
+			ok = false
+			detail = fmt.Sprintf("pair %d: only %d/%d read-backs arrived", p, len(v.replies), len(keys))
+			break
+		}
+		for i, k := range keys {
+			got := v.replies[i]
+			var id uint64
+			if _, err := fmt.Sscanf(got, "v%d", &id); err != nil || !ft.wrote[k][id] {
+				ok = false
+				detail = fmt.Sprintf("pair %d: GET k%d = %q, not a recorded write", p, k, got)
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+	}
+	c.verdicts = append(c.verdicts, Verdict{Oracle: "traffic-data", OK: ok, Detail: detail})
+}
+
+// finishTraffic emits the fleet SLO report and the slo-windows oracle
+// against the kill→drain interval.
+func (c *fleetCampaign) finishTraffic() {
+	ft := c.traffic
+	rep := ft.judge.Finish(c.clock.Now())
+	c.sloReport = &rep
+	fmt.Fprintf(&c.trace, "t=%d %s\n", int64(c.clock.Now()), rep.Line())
+	fmt.Fprintf(&c.trace, "t=%d %s\n", int64(c.clock.Now()), rep.AttributionLine())
+
+	slack := c.cfg.SLOSlack
+	if slack <= 0 {
+		slack = 500 * simtime.Millisecond
+	}
+	from := simtime.Time(c.killAt)
+	to := c.clock.Now()
+	if ft.drained {
+		to = ft.drainedAt
+	}
+	start := simtime.Time(fleetWarmup)
+	bad := 0
+	firstBad := ""
+	for _, w := range rep.Windows {
+		if !w.Violation {
+			continue
+		}
+		ws := start.Add(w.Start)
+		we := start.Add(w.Start + rep.SLO.Window)
+		if we > from.Add(-slack) && ws < to.Add(slack) {
+			continue
+		}
+		bad++
+		if firstBad == "" {
+			firstBad = fmt.Sprintf("window %d [%d,%d)ms outside the kill interval ±%s",
+				w.Index, int64(ws)/int64(simtime.Millisecond), int64(we)/int64(simtime.Millisecond), slack)
+		}
+	}
+	detail := fmt.Sprintf("%d violation windows, all within the kill interval ±%s", rep.Violations, slack)
+	if bad > 0 {
+		detail = fmt.Sprintf("%d/%d violation windows uncovered: %s", bad, rep.Violations, firstBad)
+	}
+	c.verdicts = append(c.verdicts, Verdict{Oracle: "slo-windows", OK: bad == 0, Detail: detail})
+}

@@ -57,8 +57,13 @@ func drawSchedule(cfg Config) schedule {
 	var s schedule
 
 	n := cfg.Events
-	if n <= 0 {
+	if n == 0 {
 		n = 2 + rng.Intn(5)
+	} else if n < 0 {
+		// Explicitly no transient events: a clean run whose only
+		// disruption is the terminal phase (the SLO ladder benchmarks
+		// isolate failover cost this way).
+		n = 0
 	}
 	// Events land inside the writer window, clear of warmup and of the
 	// terminal phase.

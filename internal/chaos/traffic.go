@@ -1,0 +1,290 @@
+package chaos
+
+import (
+	"fmt"
+
+	"nilicon/internal/simnet"
+	"nilicon/internal/simtime"
+	"nilicon/internal/traffic"
+)
+
+// trafficDriver replaces the fixed-interval campaign writer with an
+// open-loop trace replay: one real TCP connection per simulated client,
+// arrivals fired at trace time by traffic.Replayer, and every reply
+// judged against the configured SLO. The 1 ms oracle ticker doubles as
+// the limiting-factor sampler, so each SLO window knows which pipeline
+// mechanism (checkpoint stall, transfer backlog, fence, replay CPU,
+// client-side queueing) was throttling clients while it violated.
+type trafficDriver struct {
+	c     *campaign
+	judge *traffic.Judge
+	rep   *traffic.Replayer
+	conns []*trafficConn
+
+	// wrote[key] is the set of request IDs ever SET to that key, per
+	// connection FIFO — the acceptable read-back values for the
+	// traffic-data oracle (cross-client write order is unconstrained).
+	wrote map[uint64]map[uint64]bool
+}
+
+// trafficConn adapts one kvClient connection to traffic.Conn. Sends
+// issued before the TCP handshake completes (the unoptimized
+// configuration can freeze the container for hundreds of milliseconds
+// straight through warmup) are buffered and flushed by the oracle
+// ticker once the socket is up — virtual time only, so deterministic.
+type trafficConn struct {
+	wrote   map[uint64]map[uint64]bool
+	cli     *kvClient
+	pending []string
+}
+
+func (tc *trafficConn) Send(req traffic.Request) {
+	var line string
+	if req.Op == traffic.OpSet {
+		line = fmt.Sprintf("SET k%d v%d", req.Key, req.ID)
+		set := tc.wrote[req.Key]
+		if set == nil {
+			set = make(map[uint64]bool)
+			tc.wrote[req.Key] = set
+		}
+		set[req.ID] = true
+	} else {
+		line = fmt.Sprintf("GET k%d", req.Key)
+	}
+	if tc.cli == nil || tc.cli.sock == nil {
+		tc.pending = append(tc.pending, line)
+		return
+	}
+	tc.cli.send(line)
+}
+
+// flush drains sends buffered while the connection was still coming up.
+func (tc *trafficConn) flush() {
+	if tc.cli == nil || tc.cli.sock == nil {
+		return
+	}
+	for _, line := range tc.pending {
+		tc.cli.send(line)
+	}
+	tc.pending = nil
+}
+
+// startTraffic builds the per-client connections and schedules the
+// open-loop replay from warmup — the same instant the fixed-interval
+// writer would have started.
+func (c *campaign) startTraffic() {
+	tr := c.cfg.Traffic
+	d := &trafficDriver{
+		c:     c,
+		judge: traffic.NewJudge(c.cfg.SLO),
+		wrote: make(map[uint64]map[uint64]bool),
+	}
+	d.rep = traffic.NewReplayer(c.clock, tr, d.judge)
+	d.conns = make([]*trafficConn, tr.Header.Clients)
+	for i := range d.conns {
+		tc := &trafficConn{wrote: d.wrote}
+		d.conns[i] = tc
+		d.rep.SetConn(i, tc)
+	}
+	c.traffic = d
+
+	// Client stacks attach at distinct IPs on the shared LAN; connect
+	// before the first epoch boundary for the same reason the legacy
+	// writer does (see execute).
+	c.clock.Schedule(simtime.Millisecond, func() {
+		for i, tc := range d.conns {
+			tc := tc
+			client := i
+			tc.cli = newKVClient(c.cl, clientAddr(i), "10.0.0.10")
+			tc.cli.onReply = func(string) { d.rep.Completed(client) }
+		}
+	})
+	c.clock.Schedule(warmup, func() {
+		d.rep.Start(c.clock.Now())
+	})
+}
+
+// clientAddr assigns replayed client i a stable address on the client
+// subnet.
+func clientAddr(i int) simnet.Addr {
+	return simnet.Addr(fmt.Sprintf("10.0.%d.%d", 100+i/250, 1+i%250))
+}
+
+// sampleTraffic is the oracle ticker's limiting-factor probe: flush any
+// conn still buffering, then attribute one Factors sample to the
+// current SLO window.
+func (c *campaign) sampleTraffic() {
+	d := c.traffic
+	for _, tc := range d.conns {
+		tc.flush()
+	}
+
+	var f traffic.Factors
+	// The serving side's container: the original primary until the first
+	// failover, the restored container after it (Reprotect swaps c.repl,
+	// so Ctr tracks the current generation's primary).
+	ctr := c.repl.Ctr
+	if c.repl.Backup.Serving() && c.repl.Backup.RestoredCtr != nil {
+		ctr = c.repl.Backup.RestoredCtr
+	}
+	f.CheckpointStall = ctr.Frozen()
+	f.TransferBacklog = c.cl.Xfer.QueuedBytes() > trafficBacklogBytes
+	nobodyServing := !c.repl.Serving() && !c.repl.Backup.Serving()
+	// During a HyCoR-mode failover the recovery path is dominated by
+	// re-executing the committed nondeterminism-log suffix; attribute
+	// those instants to replay CPU rather than the generic fence.
+	f.ReplayCPU = c.killPending && c.cfg.Opts.RecordReplay
+	// A kill's client-visible damage outlasts the recovery instant: the
+	// outage's backlog keeps completing late until RTO-deferred
+	// retransmits land. Attribute that drain tail to the fence that
+	// caused it, and record when it ends — finishTraffic uses it as the
+	// disruption interval's true end.
+	postKillDrain := len(c.kills) > len(c.killDrains) && !c.killPending
+	if postKillDrain && d.rep.Outstanding() == 0 && d.rep.QueuedClientSide() == 0 {
+		c.killDrains = append(c.killDrains, c.clock.Now())
+		postKillDrain = false
+	}
+	f.Fence = (c.repl.Fenced() || nobodyServing || postKillDrain) && !f.ReplayCPU
+	f.ClientQueue = d.rep.QueuedClientSide() > 0
+	d.judge.Sample(c.clock.Now(), f)
+}
+
+// trafficBacklogBytes is the queued-byte depth on the transfer
+// scheduler above which the backlog is considered release-limiting.
+const trafficBacklogBytes = 256 << 10
+
+// verifyTrafficData is the traffic-mode acked-output oracle: every key
+// the replay ever SET must read back as v<id> for some id written to
+// that key. Per-connection TCP FIFO fixes each client's write order but
+// cross-client interleaving is unconstrained, so any recorded id is a
+// consistent final value; (nil) or an unknown id means an acknowledged
+// or retransmitted write was lost.
+func (c *campaign) verifyTrafficData() {
+	d := c.traffic
+	if len(d.wrote) == 0 {
+		return
+	}
+	if !c.cfg.Opts.PlugInput {
+		c.verdicts = append(c.verdicts, Verdict{Oracle: "traffic-data", OK: true,
+			Detail: "skipped: firewall input blocking drops client segments for seconds-long RTO backoffs"})
+		return
+	}
+	c.clock.RunFor(2 * simtime.Second)
+
+	// Deterministic key order: ascending.
+	keys := make([]uint64, 0, len(d.wrote))
+	for k := range d.wrote {
+		keys = append(keys, k)
+	}
+	sortUint64(keys)
+
+	verifier := newKVClient(c.cl, "10.0.2.1", "10.0.0.10")
+	for i := 0; i < 200 && verifier.sock == nil; i++ {
+		c.clock.RunFor(simtime.Millisecond)
+	}
+	if verifier.sock == nil {
+		c.verdicts = append(c.verdicts, Verdict{Oracle: "traffic-data", OK: false,
+			Detail: "verification connection never established"})
+		return
+	}
+	for _, k := range keys {
+		verifier.send(fmt.Sprintf("GET k%d", k))
+		c.clock.RunFor(2 * simtime.Millisecond)
+	}
+	deadline := c.clock.Now().Add(convergeIn)
+	for len(verifier.replies) < len(keys) && c.clock.Now() < deadline {
+		c.clock.RunFor(10 * simtime.Millisecond)
+	}
+
+	ok := true
+	detail := fmt.Sprintf("%d keys read back to a recorded write", len(keys))
+	if len(verifier.replies) < len(keys) {
+		ok = false
+		detail = fmt.Sprintf("only %d/%d read-backs arrived", len(verifier.replies), len(keys))
+	} else {
+		for i, k := range keys {
+			got := verifier.replies[i]
+			var id uint64
+			if _, err := fmt.Sscanf(got, "v%d", &id); err != nil || !d.wrote[k][id] {
+				ok = false
+				detail = fmt.Sprintf("GET k%d = %q, not a recorded write", k, got)
+				break
+			}
+		}
+	}
+	c.verdicts = append(c.verdicts, Verdict{Oracle: "traffic-data", OK: ok, Detail: detail})
+}
+
+func sortUint64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// finishTraffic closes the SLO evaluation: emit the judged report and
+// attribution as trace lines, and add the slo-windows oracle — every
+// violation window must overlap an injected-disruption interval padded
+// by the configured slack. Client-visible SLO damage outside any fault
+// window means the pipeline itself (not the chaos schedule) hurt
+// clients, which is exactly what the oracle exists to catch.
+func (c *campaign) finishTraffic() {
+	d := c.traffic
+	c.keysSent = d.rep.Issued()
+	c.ackedAtStop = d.judge.Completions()
+	rep := d.judge.Finish(c.clock.Now())
+	c.sloReport = &rep
+	fmt.Fprintf(&c.trace, "t=%d %s\n", int64(c.clock.Now()), rep.Line())
+	fmt.Fprintf(&c.trace, "t=%d %s\n", int64(c.clock.Now()), rep.AttributionLine())
+
+	slack := c.cfg.SLOSlack
+	if slack <= 0 {
+		slack = 500 * simtime.Millisecond
+	}
+	type span struct{ from, to simtime.Time }
+	var disruptions []span
+	for _, ev := range c.sched.events {
+		disruptions = append(disruptions, span{simtime.Time(ev.At), simtime.Time(ev.At + ev.For)})
+	}
+	for i, k := range c.kills {
+		// A kill disrupts clients until the outage backlog fully drains
+		// (killDrains, observed by the sampler) — not merely until the
+		// backup recovered.
+		to := c.clock.Now()
+		if i < len(c.killDrains) {
+			to = c.killDrains[i]
+		}
+		disruptions = append(disruptions, span{k, to})
+	}
+
+	start := simtime.Time(warmup) // replay anchor: windows are relative to it
+	bad := 0
+	firstBad := ""
+	for _, w := range rep.Windows {
+		if !w.Violation {
+			continue
+		}
+		ws := start.Add(w.Start)
+		we := start.Add(w.Start + rep.SLO.Window)
+		covered := false
+		for _, sp := range disruptions {
+			if we > sp.from.Add(-slack) && ws < sp.to.Add(slack) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			bad++
+			if firstBad == "" {
+				firstBad = fmt.Sprintf("window %d [%d,%d)ms outside every fault interval ±%s",
+					w.Index, int64(ws)/int64(simtime.Millisecond), int64(we)/int64(simtime.Millisecond), slack)
+			}
+		}
+	}
+	detail := fmt.Sprintf("%d violation windows, all within fault intervals ±%s", rep.Violations, slack)
+	if bad > 0 {
+		detail = fmt.Sprintf("%d/%d violation windows uncovered: %s", bad, rep.Violations, firstBad)
+	}
+	c.verdicts = append(c.verdicts, Verdict{Oracle: "slo-windows", OK: bad == 0, Detail: detail})
+}

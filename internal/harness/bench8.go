@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"nilicon/internal/chaos"
+	"nilicon/internal/core"
+	"nilicon/internal/metrics"
+	"nilicon/internal/simtime"
+	"nilicon/internal/traffic"
+)
+
+// BENCH_8 is the client-observed SLO ladder: the same fully optimized
+// pipeline, judged from the outside under three synthesized open-loop
+// workload shapes — uniform Poisson arrivals, Zipfian hot-key skew over
+// Pareto inter-arrivals, and a periodic burst envelope — each driven
+// straight through a mid-run primary hard-kill. Every run reports the
+// windowed latency quantiles (p50/p99/p99.9 per 100 ms window), the
+// SLO-violation windows, and the limiting-factor attribution; the
+// slo-windows oracle asserts the violations coincide with the kill.
+// Everything runs in virtual time, so the committed JSON is
+// byte-reproducible on any machine.
+
+// Bench8Row is one workload profile of the BENCH_8 ladder.
+type Bench8Row struct {
+	Profile     string  `json:"profile"`
+	Requests    int     `json:"requests"` // trace arrivals (fanout children excluded)
+	Issued      int     `json:"issued"`   // actually sent, children included
+	Completions int     `json:"completions"`
+	Outstanding int     `json:"outstanding"`
+	Windows     int     `json:"windows"`
+	Violations  int     `json:"violations"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	P999Ms      float64 `json:"p999_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	WorstP999Ms float64 `json:"worst_window_p999_ms"`
+	// Limiting is the attributed limiting factor over the violation
+	// windows; Shares is the full per-factor breakdown.
+	Limiting  string             `json:"limiting"`
+	Shares    map[string]float64 `json:"shares"`
+	Failovers int                `json:"failovers"`
+	Passed    bool               `json:"passed"` // every campaign oracle, slo-windows included
+}
+
+// Bench8Report is the committed BENCH_8.json document.
+type Bench8Report struct {
+	Benchmark  string      `json:"benchmark"`
+	Seed       int64       `json:"seed"`
+	Clients    int         `json:"clients"`
+	RatePerSec float64     `json:"rate_per_sec"`
+	TraceMs    int64       `json:"trace_ms"`
+	FaultMs    int64       `json:"fault_ms"`
+	WindowMs   int64       `json:"slo_window_ms"`
+	TargetMs   int64       `json:"slo_target_ms"`
+	Quantile   float64     `json:"slo_quantile"`
+	Rows       []Bench8Row `json:"rows"`
+	// AllPassed: every profile passed every oracle — including that all
+	// SLO violations coincide with the injected failover.
+	AllPassed bool `json:"all_passed"`
+}
+
+// Bench8Profiles is the ladder order.
+var Bench8Profiles = []string{"uniform", "zipf", "burst"}
+
+const (
+	bench8Clients = 8
+	bench8Rate    = 600.0
+	bench8Trace   = 2500 * simtime.Millisecond
+	bench8Fault   = 1500 * simtime.Millisecond
+)
+
+// RunBench8 runs the ladder: each profile is synthesized from the seed
+// and replayed through a terminal-kill campaign with no transient
+// events, so the failover is the only disruption the SLO can blame.
+func RunBench8(seed int64) Bench8Report {
+	slo := traffic.SLO{}.WithDefaults()
+	rep := Bench8Report{
+		Benchmark:  "traffic-slo-ladder",
+		Seed:       seed,
+		Clients:    bench8Clients,
+		RatePerSec: bench8Rate,
+		TraceMs:    int64(bench8Trace / simtime.Millisecond),
+		FaultMs:    int64(bench8Fault / simtime.Millisecond),
+		WindowMs:   int64(slo.Window / simtime.Millisecond),
+		TargetMs:   int64(slo.Target / simtime.Millisecond),
+		Quantile:   slo.Quantile,
+		AllPassed:  true,
+	}
+	for _, prof := range Bench8Profiles {
+		cfg, err := traffic.Profile(prof, seed)
+		if err != nil {
+			panic("bench8: " + err.Error())
+		}
+		cfg.Clients = bench8Clients
+		cfg.Rate = bench8Rate
+		cfg.Duration = bench8Trace
+		cfg.SlowFrac = 0
+		tr := traffic.Synthesize(cfg)
+
+		res := chaos.VerifySeed(chaos.Config{
+			Seed: seed, Opts: core.AllOpts(), OptName: "bench8-" + prof,
+			Duration: bench8Fault, Terminal: chaos.TerminalKill, Events: -1,
+			Traffic: tr, SLO: slo,
+		})
+		if res.SLO == nil {
+			panic("bench8: campaign produced no SLO report")
+		}
+		s := res.SLO
+		row := Bench8Row{
+			Profile:     prof,
+			Requests:    len(tr.Reqs),
+			Issued:      res.SentWrites,
+			Completions: s.Completions,
+			Outstanding: s.Outstanding,
+			Windows:     s.TotalWindows,
+			Violations:  s.Violations,
+			P50Ms:       round2(s.P50),
+			P99Ms:       round2(s.P99),
+			P999Ms:      round2(s.P999),
+			MaxMs:       round2(s.Max),
+			WorstP999Ms: round2(s.WorstP999),
+			Limiting:    s.Limiting,
+			Shares:      map[string]float64{},
+			Failovers:   res.Failovers,
+			Passed:      res.Passed,
+		}
+		for i, name := range traffic.FactorNames() {
+			row.Shares[name] = round2(s.Shares[i])
+		}
+		rep.Rows = append(rep.Rows, row)
+		rep.AllPassed = rep.AllPassed && res.Passed
+		progressf("bench8: %s violations=%d/%d p99.9=%.2fms limiting=%s passed=%v",
+			prof, row.Violations, row.Windows, row.P999Ms, row.Limiting, row.Passed)
+	}
+	return rep
+}
+
+func round2(v float64) float64 {
+	if v < 0 {
+		return float64(int64(v*100-0.5)) / 100
+	}
+	return float64(int64(v*100+0.5)) / 100
+}
+
+// JSON renders the report with stable formatting for committing.
+func (r Bench8Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Bench8Table renders the report as a human-readable table.
+func Bench8Table(r Bench8Report) *metrics.Table {
+	tb := metrics.NewTable(
+		fmt.Sprintf("BENCH_8: client-observed SLO ladder through a mid-run failover (p%v < %dms per %dms window)",
+			r.Quantile, r.TargetMs, r.WindowMs),
+		"Profile", "Requests", "Completed", "Windows", "Violations", "p50", "p99", "p99.9", "Worst", "Limiting", "Passed")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Profile,
+			fmt.Sprintf("%d", row.Requests),
+			fmt.Sprintf("%d", row.Completions),
+			fmt.Sprintf("%d", row.Windows),
+			fmt.Sprintf("%d", row.Violations),
+			fmt.Sprintf("%.2fms", row.P50Ms),
+			fmt.Sprintf("%.2fms", row.P99Ms),
+			fmt.Sprintf("%.2fms", row.P999Ms),
+			fmt.Sprintf("%.2fms", row.WorstP999Ms),
+			row.Limiting,
+			fmt.Sprintf("%v", row.Passed))
+	}
+	return tb
+}

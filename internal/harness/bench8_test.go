@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBench8 runs the SLO ladder twice: the report must be
+// byte-deterministic, every profile must pass every oracle (including
+// slo-windows fault coincidence), and the mid-run failover must be
+// visible as violation windows attributed to a pipeline mechanism.
+func TestBench8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench8 runs three full failover campaigns")
+	}
+	r1 := RunBench8(5)
+	r2 := RunBench8(5)
+	j1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := r2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("bench8 not deterministic:\n%s\nvs\n%s", j1, j2)
+	}
+	if len(r1.Rows) != len(Bench8Profiles) {
+		t.Fatalf("rows = %d, want %d", len(r1.Rows), len(Bench8Profiles))
+	}
+	if !r1.AllPassed {
+		t.Fatalf("ladder did not pass all oracles:\n%s", j1)
+	}
+	mech := map[string]bool{
+		"checkpoint-stall": true, "transfer-backlog": true,
+		"fence": true, "replay-cpu": true,
+	}
+	for _, row := range r1.Rows {
+		if row.Failovers == 0 {
+			t.Errorf("%s: no failover despite terminal kill", row.Profile)
+		}
+		if row.Violations == 0 {
+			t.Errorf("%s: failover produced no SLO violation windows", row.Profile)
+		}
+		if !mech[row.Limiting] {
+			t.Errorf("%s: limiting factor %q is not a pipeline mechanism", row.Profile, row.Limiting)
+		}
+		if row.Completions == 0 || row.Completions > row.Issued {
+			t.Errorf("%s: completions=%d issued=%d", row.Profile, row.Completions, row.Issued)
+		}
+	}
+	if tbl := Bench8Table(r1); tbl.NumRows() != len(r1.Rows) {
+		t.Fatalf("table rows = %d, want %d", tbl.NumRows(), len(r1.Rows))
+	}
+}

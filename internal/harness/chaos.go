@@ -9,7 +9,30 @@ import (
 	"nilicon/internal/core"
 	"nilicon/internal/metrics"
 	"nilicon/internal/simtime"
+	"nilicon/internal/traffic"
 )
+
+// trafficSweepTrace synthesizes the sweep's trace for one seed: the
+// workload profile rotates uniform → zipf → burst with the seed, slow
+// clients are disabled (client-side queueing would trip the
+// fault-coincidence oracle on its own), and the trace outlasts the
+// fault window by a second so a drawn terminal kill lands mid-run.
+func trafficSweepTrace(seed int64, fault simtime.Duration) *traffic.Trace {
+	if fault <= 0 {
+		fault = 1500 * simtime.Millisecond
+	}
+	profiles := []string{"uniform", "zipf", "burst"}
+	name := profiles[((seed%3)+3)%3]
+	cfg, err := traffic.Profile(name, seed)
+	if err != nil {
+		panic("harness: " + err.Error())
+	}
+	cfg.Clients = 8
+	cfg.Rate = 600
+	cfg.Duration = fault + simtime.Second
+	cfg.SlowFrac = 0
+	return traffic.Synthesize(cfg)
+}
 
 // ChaosOptSets is the configuration matrix the chaos sweep runs against:
 // the unoptimized baseline, the serialized stop-and-copy graph with
@@ -68,18 +91,26 @@ func RunChaosSweepSharded(seeds int, base int64, duration simtime.Duration, jobs
 	}
 	steps := ChaosOptSets()
 	type campaign struct {
-		name  string
-		seed  int64
-		opts  core.OptSet
-		kinds []string                // non-nil: restrict transient-fault kinds
-		sb    *chaos.SplitBrainConfig // non-nil: scripted split-brain scenario
-		fleet *FleetScenario          // nil: single-pair campaign
+		name    string
+		seed    int64
+		opts    core.OptSet
+		kinds   []string                // non-nil: restrict transient-fault kinds
+		sb      *chaos.SplitBrainConfig // non-nil: scripted split-brain scenario
+		fleet   *FleetScenario          // nil: single-pair campaign
+		traffic bool                    // trace-replay campaign with SLO judging
 	}
 	var campaigns []campaign
 	for _, step := range steps {
 		for s := int64(0); s < int64(seeds); s++ {
 			campaigns = append(campaigns, campaign{name: step.Name, seed: base + s, opts: step.Opts})
 		}
+	}
+	// Trace-replay campaigns: the fixed-interval writer is replaced by
+	// an open-loop synthesized trace (profile rotating by seed) judged
+	// against the windowed SLO; the slo-windows oracle requires every
+	// violation window to coincide with an injected disruption.
+	for s := int64(0); s < int64(seeds); s++ {
+		campaigns = append(campaigns, campaign{name: "traffic", seed: base + s, opts: core.AllOpts(), traffic: true})
 	}
 	// Asymmetric-fault campaigns: schedules drawn only from the sustained
 	// one-way cuts and seeded link flapping — the geometries the lease
@@ -117,11 +148,14 @@ func RunChaosSweepSharded(seeds int, base int64, duration simtime.Duration, jobs
 	results := make([]chaos.Result, len(campaigns))
 
 	tb := metrics.NewTable("Chaos sweep: seeded fault campaigns × option sets and fleet scenarios",
-		"Matrix", "Campaigns", "Passed", "Terminals", "Epochs", "Resyncs", "Drops", "Failovers")
+		"Matrix", "Campaigns", "Passed", "Terminals", "Epochs", "Resyncs", "Drops", "Failovers",
+		"SLOViol", "SLOp99.9", "Limiting")
 	var passed, failovers int
 	var epochs uint64
 	var resyncs, drops int64
 	terminals := map[string]int{}
+	sloViol, sloWorst, sawSLO := 0, 0.0, false
+	sloLimiting := map[string]int{}
 	flush := func(name string) {
 		var tnames []string
 		for t, n := range terminals {
@@ -129,6 +163,17 @@ func RunChaosSweepSharded(seeds int, base int64, duration simtime.Duration, jobs
 		}
 		// Deterministic column ordering for the summary.
 		sort.Strings(tnames)
+		viol, worst, limiting := "-", "-", "-"
+		if sawSLO {
+			viol = fmt.Sprintf("%d", sloViol)
+			worst = fmt.Sprintf("%.1fms", sloWorst)
+			var lnames []string
+			for l, n := range sloLimiting {
+				lnames = append(lnames, fmt.Sprintf("%s:%d", l, n))
+			}
+			sort.Strings(lnames)
+			limiting = strings.Join(lnames, " ")
+		}
 		tb.AddRow(name,
 			fmt.Sprintf("%d", seeds),
 			fmt.Sprintf("%d", passed),
@@ -136,9 +181,12 @@ func RunChaosSweepSharded(seeds int, base int64, duration simtime.Duration, jobs
 			fmt.Sprintf("%d", epochs),
 			fmt.Sprintf("%d", resyncs),
 			fmt.Sprintf("%d", drops),
-			fmt.Sprintf("%d", failovers))
+			fmt.Sprintf("%d", failovers),
+			viol, worst, limiting)
 		passed, failovers, epochs, resyncs, drops = 0, 0, 0, 0, 0
 		terminals = map[string]int{}
+		sloViol, sloWorst, sawSLO = 0, 0, false
+		sloLimiting = map[string]int{}
 	}
 
 	runIndexed(len(campaigns), jobs,
@@ -156,9 +204,14 @@ func RunChaosSweepSharded(seeds int, base int64, duration simtime.Duration, jobs
 				results[i] = chaos.VerifySplitBrainSeed(sb)
 				return
 			}
+			var tr *traffic.Trace
+			if cmp.traffic {
+				tr = trafficSweepTrace(cmp.seed, duration)
+			}
 			results[i] = chaos.VerifySeed(chaos.Config{
 				Seed: cmp.seed, Opts: cmp.opts, OptName: cmp.name, Duration: duration,
 				FaultKinds: cmp.kinds, Shards: shards, Workers: workers,
+				Traffic: tr,
 			})
 		},
 		func(i int) {
@@ -168,6 +221,14 @@ func RunChaosSweepSharded(seeds int, base int64, duration simtime.Duration, jobs
 			resyncs += res.Resyncs
 			drops += res.LinkDrops
 			failovers += res.Failovers
+			if res.SLO != nil {
+				sawSLO = true
+				sloViol += res.SLO.Violations
+				if res.SLO.WorstP999 > sloWorst {
+					sloWorst = res.SLO.WorstP999
+				}
+				sloLimiting[res.SLO.Limiting]++
+			}
 			if res.Passed {
 				passed++
 			} else {

@@ -13,9 +13,10 @@ import (
 // every campaign must pass every oracle and the summary table must carry
 // one row per option set.
 func TestChaosSweepSmall(t *testing.T) {
-	// Option sets, plus the asymmetric-fault and three scripted
-	// split-brain lease blocks, plus the fleet scenarios.
-	entries := len(ChaosOptSets()) + 4 + len(FleetScenarios())
+	// Option sets, plus the trace-replay (SLO-judged) block, the
+	// asymmetric-fault and three scripted split-brain lease blocks,
+	// plus the fleet scenarios.
+	entries := len(ChaosOptSets()) + 5 + len(FleetScenarios())
 	results, tb := RunChaosSweep(2, 21, 800*simtime.Millisecond)
 	if len(results) != 2*entries {
 		t.Fatalf("results = %d, want %d", len(results), 2*entries)
@@ -41,6 +42,19 @@ func TestChaosSweepSmall(t *testing.T) {
 	for _, name := range []string{"asym", "splitbrain-partition", "splitbrain-ackout", "splitbrain-replay"} {
 		if !strings.Contains(tb.String(), name) {
 			t.Fatalf("summary table missing lease matrix entry %q:\n%s", name, tb)
+		}
+	}
+	// The trace-replay block: a summary row with live SLO columns, and
+	// every traffic campaign carries a judged report.
+	if !strings.Contains(tb.String(), "traffic") {
+		t.Fatalf("summary table missing traffic entry:\n%s", tb)
+	}
+	for _, res := range results {
+		if res.OptName == "traffic" && res.SLO == nil {
+			t.Fatalf("traffic campaign seed=%d has no SLO report", res.Seed)
+		}
+		if res.OptName != "traffic" && !strings.HasPrefix(res.OptName, "fleet-") && res.SLO != nil {
+			t.Fatalf("non-traffic campaign %s seed=%d has an SLO report", res.OptName, res.Seed)
 		}
 	}
 	// The fleet scenarios ride in the same matrix: each has a summary row

@@ -493,6 +493,8 @@ func appErrors(repl *core.Replicator) (int, bool) {
 		return len(app.AppErrors()), true
 	case *workloads.DiskStress:
 		return len(app.Errors()), true
+	case *workloads.Parsec:
+		return len(app.Errors()), true
 	}
 	return 0, false
 }

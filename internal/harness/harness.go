@@ -155,7 +155,13 @@ func nlConfig(prof workloads.Profile, fresh func() workloads.Workload, rc RunCon
 	}
 	cfg.ExtraStopPerCheckpoint = prof.TotalExtraStop()
 	cfg.RuntimeTaxPerEpoch = prof.RuntimeTax
-	cfg.Reattach = func(ctr core.RestoredContainer, state any) { fresh().Reattach(ctr, state) }
+	cfg.Reattach = func(ctr core.RestoredContainer, state any) {
+		if err := fresh().Reattach(ctr, state); err != nil {
+			// The workload recorded the failure in its own error list, which
+			// the validation oracles read (appErrors); log it for humans too.
+			progressf("reattach %s: %v", prof.Name, err)
+		}
+	}
 	return cfg
 }
 

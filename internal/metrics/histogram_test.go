@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantilesTrackStream(t *testing.T) {
+	var h Histogram
+	var s Stream
+	// Deterministic log-uniform-ish spread from 10 µs to ~10 s.
+	x := 0.01
+	for i := 0; i < 5000; i++ {
+		v := x * (1 + float64(i%7)/10)
+		h.Add(v)
+		s.Add(v)
+		x *= 1.0028
+		if x > 1e4 {
+			x = 0.01
+		}
+	}
+	if h.N() != int64(s.N()) {
+		t.Fatalf("N = %d vs %d", h.N(), s.N())
+	}
+	if math.Abs(h.Mean()-s.Mean()) > 1e-9 {
+		t.Fatalf("Mean = %v vs %v", h.Mean(), s.Mean())
+	}
+	if h.Min() != s.Min() || h.Max() != s.Max() {
+		t.Fatalf("min/max = %v/%v vs %v/%v", h.Min(), h.Max(), s.Min(), s.Max())
+	}
+	for _, p := range []float64{0, 10, 50, 90, 99, 99.9, 100} {
+		hq, sq := h.Quantile(p), s.Percentile(p)
+		// Log-bucketed sketch: bounded relative error.
+		if sq > 0 && math.Abs(hq-sq)/sq > 0.10 {
+			t.Fatalf("p%v: histogram %v vs exact %v (>10%% off)", p, hq, sq)
+		}
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(50) != 0 || h.Mean() != 0 || h.N() != 0 {
+		t.Fatalf("empty histogram not zero-valued")
+	}
+	h.Add(0)    // underflow bucket
+	h.Add(1e-9) // underflow bucket
+	h.Add(1e12) // overflow bucket
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if q := h.Quantile(100); q != 1e12 {
+		t.Fatalf("p100 = %v, want exact max", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("p0 = %v, want clamped min", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	for i := 1; i <= 100; i++ {
+		v := float64(i)
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() || a.Sum() != all.Sum() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge mismatch: %v vs %v", a, all)
+	}
+	for _, p := range []float64{25, 50, 99} {
+		if a.Quantile(p) != all.Quantile(p) {
+			t.Fatalf("p%v after merge = %v, want %v", p, a.Quantile(p), all.Quantile(p))
+		}
+	}
+	var empty Histogram
+	empty.Merge(&a)
+	if empty.N() != a.N() || empty.Min() != a.Min() {
+		t.Fatalf("merge into empty lost state")
+	}
+}

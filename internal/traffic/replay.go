@@ -1,0 +1,213 @@
+package traffic
+
+import (
+	"fmt"
+
+	"nilicon/internal/simtime"
+)
+
+// Conn is the transport one replayed client drives. Send puts one
+// request on the wire; the transport owner must call
+// Replayer.Completed(client) when that request's reply arrives.
+// Replies on a connection arrive FIFO (TCP), which is what lets the
+// replayer match completions to requests without IDs on the wire.
+type Conn interface {
+	Send(req Request)
+}
+
+// slowClientDepth caps a slow client's in-flight requests: open-loop
+// arrivals beyond the cap queue client-side, modeling a client too slow
+// to drain its socket. Queue wait counts toward observed latency.
+const slowClientDepth = 1
+
+// pending is one in-flight request awaiting its FIFO reply.
+type pending struct {
+	arrival simtime.Time // open-loop arrival (trace time), not send time
+	key     uint64
+	size    int
+	fanout  int
+}
+
+// queuedReq is one arrival parked behind a slow client's in-flight cap.
+type queuedReq struct {
+	p   pending
+	req Request
+}
+
+// Replayer drives a trace open-loop on the simulation clock: every
+// arrival fires at its trace time regardless of earlier completions, so
+// during a brownout the backlog a real client population would build is
+// actually built. Completions feed the Judge with latency measured from
+// trace arrival to reply arrival — client-side queue wait included.
+type Replayer struct {
+	clock *simtime.Clock
+	tr    *Trace
+	judge *Judge
+
+	conns    []Conn
+	slow     []bool
+	inflight [][]pending
+	queued   [][]queuedReq
+
+	next        int // cursor into tr.Reqs
+	nextChildID uint64
+	issued      int
+	queuedNow   int
+	started     bool
+}
+
+// NewReplayer builds a replayer for one trace. The judge may be nil
+// (capture-free smoke replays); conns must be installed for every
+// client index before Start.
+func NewReplayer(clock *simtime.Clock, tr *Trace, judge *Judge) *Replayer {
+	r := &Replayer{
+		clock:       clock,
+		tr:          tr,
+		judge:       judge,
+		conns:       make([]Conn, tr.Header.Clients),
+		slow:        make([]bool, tr.Header.Clients),
+		inflight:    make([][]pending, tr.Header.Clients),
+		queued:      make([][]queuedReq, tr.Header.Clients),
+		nextChildID: maxID(tr),
+	}
+	for _, s := range tr.Header.SlowClients {
+		r.slow[s] = true
+	}
+	return r
+}
+
+func maxID(tr *Trace) uint64 {
+	var m uint64
+	for i := range tr.Reqs {
+		if tr.Reqs[i].ID > m {
+			m = tr.Reqs[i].ID
+		}
+	}
+	return m
+}
+
+// SetConn installs the transport for one client index.
+func (r *Replayer) SetConn(client int, c Conn) { r.conns[client] = c }
+
+// Start schedules the trace's arrivals from the given instant: request
+// i fires at start + Reqs[i].At. The judge's window 0 is anchored at
+// start.
+func (r *Replayer) Start(start simtime.Time) {
+	if r.started {
+		panic("traffic: replayer started twice")
+	}
+	for _, c := range r.conns {
+		if c == nil {
+			panic("traffic: replayer started with an unset client conn")
+		}
+	}
+	r.started = true
+	if r.judge != nil {
+		r.judge.Start(start)
+	}
+	// Arrivals are scheduled one ahead of the cursor instead of all up
+	// front: the trace may hold hundreds of thousands of requests and
+	// the wheel only ever needs the next one.
+	r.scheduleNext(start)
+}
+
+func (r *Replayer) scheduleNext(start simtime.Time) {
+	if r.next >= len(r.tr.Reqs) {
+		return
+	}
+	req := r.tr.Reqs[r.next]
+	r.next++
+	r.clock.ScheduleAt(start.Add(simtime.Duration(req.At)), func() {
+		r.arrive(pending{arrival: r.clock.Now(), key: req.Key, size: req.Size, fanout: req.Fanout}, req)
+		r.scheduleNext(start)
+	})
+}
+
+// arrive admits one open-loop arrival: judged, then sent — or queued
+// client-side when the issuing client is slow and at its in-flight cap.
+func (r *Replayer) arrive(p pending, req Request) {
+	if r.judge != nil {
+		r.judge.Arrived(p.arrival)
+	}
+	cidx := req.Client
+	if r.slow[cidx] && len(r.inflight[cidx]) >= slowClientDepth {
+		r.queued[cidx] = append(r.queued[cidx], queuedReq{p: p, req: req})
+		r.queuedNow++
+		return
+	}
+	r.send(cidx, p, req)
+}
+
+func (r *Replayer) send(client int, p pending, req Request) {
+	r.inflight[client] = append(r.inflight[client], p)
+	r.issued++
+	r.conns[client].Send(req)
+}
+
+// Completed is the transport's reply callback: the oldest in-flight
+// request on that client just finished. It records the latency, issues
+// the request's dependent fanout children, and drains the client-side
+// queue if the client is slow.
+func (r *Replayer) Completed(client int) {
+	q := r.inflight[client]
+	if len(q) == 0 {
+		// A reply with nothing in flight is a transport accounting bug.
+		panic(fmt.Sprintf("traffic: completion on client %d with no in-flight request", client))
+	}
+	p := q[0]
+	r.inflight[client] = q[1:]
+	now := r.clock.Now()
+	if r.judge != nil {
+		r.judge.Completed(p.arrival, now)
+	}
+	// Dependent fanout: follow-up requests a real client issues only
+	// once the parent completes (closed-loop children). They arrive now,
+	// read keys derived from the parent's, and carry no further fanout.
+	for i := 0; i < p.fanout; i++ {
+		r.nextChildID++
+		child := Request{
+			ID:     r.nextChildID,
+			Client: client,
+			Op:     OpGet,
+			Key:    childKey(p.key, i, r.tr.Header.Keys),
+			Size:   p.size,
+		}
+		r.arrive(pending{arrival: now, key: child.Key, size: child.Size}, child)
+	}
+	// Slow-client drain: one completion frees one in-flight slot.
+	for r.slow[client] && len(r.queued[client]) > 0 && len(r.inflight[client]) < slowClientDepth {
+		qr := r.queued[client][0]
+		r.queued[client] = r.queued[client][1:]
+		r.queuedNow--
+		r.send(client, qr.p, qr.req)
+	}
+}
+
+// childKey spreads a parent's dependent reads across the keyspace
+// deterministically (Fibonacci hashing of parent key and child index).
+func childKey(parent uint64, i, keys int) uint64 {
+	k := (parent + uint64(i) + 1) * 0x9e3779b97f4a7c15
+	if keys > 0 {
+		return k % uint64(keys)
+	}
+	return k
+}
+
+// Outstanding returns the requests in flight on the wire.
+func (r *Replayer) Outstanding() int {
+	n := 0
+	for _, q := range r.inflight {
+		n += len(q)
+	}
+	return n
+}
+
+// QueuedClientSide returns requests held behind slow clients' in-flight
+// caps.
+func (r *Replayer) QueuedClientSide() int { return r.queuedNow }
+
+// Issued returns the requests actually sent (children included).
+func (r *Replayer) Issued() int { return r.issued }
+
+// Done reports whether every trace arrival has fired.
+func (r *Replayer) Done() bool { return r.next >= len(r.tr.Reqs) }

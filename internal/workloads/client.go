@@ -10,6 +10,7 @@ import (
 	"nilicon/internal/metrics"
 	"nilicon/internal/simnet"
 	"nilicon/internal/simtime"
+	"nilicon/internal/traffic"
 )
 
 // ClientKind selects the driving pattern.
@@ -70,6 +71,10 @@ type ClientSet struct {
 	Errors    []string
 	Resets    int
 	Latencies metrics.Stream // seconds, per request (per batch for KVBatch)
+
+	// Capture, when set, records every issued request into a replayable
+	// traffic trace (niliconctl traffic -capture).
+	Capture *traffic.Recorder
 
 	// windowStart/windowCount implement throughput windows.
 	windowStart simtime.Time
@@ -155,6 +160,14 @@ func (c *Client) randKey() uint64 {
 	return uint64(lo + c.rng.Intn(stripe))
 }
 
+// record captures one issued request into the set's trace recorder, if
+// capture mode is on.
+func (set *ClientSet) record(now simtime.Time, client int, op string, key uint64, size int) {
+	if set.Capture != nil {
+		set.Capture.Record(now, client, op, key, size)
+	}
+}
+
 // issue sends the next request(s) according to the client kind.
 func (c *Client) issue() {
 	switch c.kind {
@@ -174,6 +187,7 @@ func (c *Client) issue() {
 				payload := append(KeyBytes(key), ValueFor(key, v, recordSize)...)
 				buf.Write(Frame(OpSet, payload))
 				c.inflight = append(c.inflight, outstanding{op: OpSet, sentAt: now, expected: []byte("OK"), key: key})
+				c.set.record(now, c.id, traffic.OpSet, key, recordSize)
 			} else {
 				v, known := c.versions[key]
 				var exp []byte
@@ -182,6 +196,7 @@ func (c *Client) issue() {
 				}
 				buf.Write(Frame(OpGet, KeyBytes(key)))
 				c.inflight = append(c.inflight, outstanding{op: OpGet, sentAt: now, expected: exp, key: key})
+				c.set.record(now, c.id, traffic.OpGet, key, 0)
 			}
 		}
 		c.sock.Send(buf.Bytes())
@@ -193,6 +208,7 @@ func (c *Client) issue() {
 			c.versions[key] = v
 			c.sock.Send(Frame(OpSet, append(KeyBytes(key), ValueFor(key, v, recordSize)...)))
 			c.inflight = append(c.inflight, outstanding{op: OpSet, sentAt: now, expected: []byte("OK"), key: key})
+			c.set.record(now, c.id, traffic.OpSet, key, recordSize)
 		} else {
 			v, known := c.versions[key]
 			var exp []byte
@@ -201,11 +217,15 @@ func (c *Client) issue() {
 			}
 			c.sock.Send(Frame(OpGet, KeyBytes(key)))
 			c.inflight = append(c.inflight, outstanding{op: OpGet, sentAt: now, expected: exp, key: key})
+			c.set.record(now, c.id, traffic.OpGet, key, 0)
 		}
 	case WebLoop:
 		pathID := uint32(c.rng.Intn(512))
 		var p [4]byte
 		binary.BigEndian.PutUint32(p[:], pathID)
+		// Web/echo loops capture as gets keyed by path: the trace format
+		// is kv-shaped, so a replay drives the page set as reads.
+		c.set.record(c.set.cl.Clock.Now(), c.id, traffic.OpGet, uint64(pathID), c.set.prof.RespKB<<10)
 		c.sock.Send(Frame(OpWeb, p[:]))
 		c.inflight = append(c.inflight, outstanding{
 			op: OpWeb, sentAt: c.set.cl.Clock.Now(),
@@ -218,6 +238,7 @@ func (c *Client) issue() {
 		}
 		payload := make([]byte, size)
 		c.rng.Read(payload)
+		c.set.record(c.set.cl.Clock.Now(), c.id, traffic.OpSet, uint64(c.id), size)
 		c.sock.Send(Frame(OpEcho, payload))
 		c.inflight = append(c.inflight, outstanding{op: OpEcho, sentAt: c.set.cl.Clock.Now(), expected: payload})
 	}

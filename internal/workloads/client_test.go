@@ -1,10 +1,12 @@
 package workloads
 
 import (
+	"strings"
 	"testing"
 
 	"nilicon/internal/core"
 	"nilicon/internal/simtime"
+	"nilicon/internal/traffic"
 )
 
 func TestLoaderLoadsAllRecords(t *testing.T) {
@@ -95,5 +97,91 @@ func TestProbeClientVerifiesReads(t *testing.T) {
 	}
 	if len(set.Errors) != 0 {
 		t.Fatalf("probe verification errors: %v", set.Errors[:min(3, len(set.Errors))])
+	}
+}
+
+// TestTraceClientSetReplaysTrace: the trace-driven client set replaces
+// the uniform kv client — every trace arrival is issued on the workload
+// wire protocol, completes against the live server, and lands in the
+// SLO judge with a clean run showing zero violation windows.
+func TestTraceClientSetReplaysTrace(t *testing.T) {
+	sv := Redis()
+	clock := simtime.NewClock()
+	cl := core.NewCluster(clock, core.ClusterParams{})
+	ctr := cl.NewProtectedContainer("kv", "10.0.0.10", 1)
+	sv.Install(ctr)
+
+	cfg, err := traffic.Profile("uniform", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Clients = 4
+	cfg.Rate = 400
+	cfg.Duration = simtime.Second
+	cfg.SlowFrac = 0
+	tr := traffic.Synthesize(cfg)
+
+	set := sv.NewTraceClients(cl, "10.0.0.10", tr, traffic.SLO{})
+	clock.RunFor(10 * simtime.Millisecond) // connects settle
+	set.Start(clock.Now())
+	clock.RunFor(cfg.Duration + 500*simtime.Millisecond)
+
+	if set.Rep.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after drain", set.Rep.Outstanding())
+	}
+	if int(set.Completed) != set.Rep.Issued() || set.Rep.Issued() < len(tr.Reqs) {
+		t.Fatalf("completed=%d issued=%d trace=%d", set.Completed, set.Rep.Issued(), len(tr.Reqs))
+	}
+	if len(set.Errors) != 0 {
+		t.Fatalf("trace client errors: %v", set.Errors)
+	}
+	rep := set.Finish(clock.Now())
+	if rep.Violations != 0 {
+		t.Fatalf("clean run has %d violation windows:\n%s", rep.Violations, rep.Line())
+	}
+}
+
+// TestClientSetCaptureRoundTrip: a uniform run recorded under capture
+// mode produces a parseable trace that replays through the trace client.
+func TestClientSetCaptureRoundTrip(t *testing.T) {
+	sv := Redis()
+	clock := simtime.NewClock()
+	cl := core.NewCluster(clock, core.ClusterParams{})
+	ctr := cl.NewProtectedContainer("kv", "10.0.0.10", 1)
+	sv.Install(ctr)
+	set := NewClientSet(cl, sv.Profile(), "10.0.0.10", KVProbe, 2, 9)
+	set.Capture = traffic.NewRecorder("capture:redis", len(set.Clients), clock.Now())
+	clock.RunFor(500 * simtime.Millisecond)
+
+	tr, err := set.Capture.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Name != "capture:redis" || len(tr.Reqs) == 0 {
+		t.Fatalf("capture header=%+v reqs=%d", tr.Header, len(tr.Reqs))
+	}
+	var buf strings.Builder
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := traffic.Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("captured trace does not re-parse: %v", err)
+	}
+	if len(back.Reqs) != len(tr.Reqs) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(back.Reqs), len(tr.Reqs))
+	}
+
+	// And the capture replays against a fresh server.
+	clock2 := simtime.NewClock()
+	cl2 := core.NewCluster(clock2, core.ClusterParams{})
+	sv2 := Redis()
+	sv2.Install(cl2.NewProtectedContainer("kv", "10.0.0.10", 1))
+	set2 := sv2.NewTraceClients(cl2, "10.0.0.10", back, traffic.SLO{})
+	clock2.RunFor(10 * simtime.Millisecond)
+	set2.Start(clock2.Now())
+	clock2.RunFor(back.Duration() + 500*simtime.Millisecond)
+	if set2.Rep.Outstanding() != 0 || int(set2.Completed) == 0 {
+		t.Fatalf("capture replay: completed=%d outstanding=%d", set2.Completed, set2.Rep.Outstanding())
 	}
 }

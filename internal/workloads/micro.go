@@ -83,16 +83,27 @@ func (d *DiskStress) Install(ctr *container.Container) {
 	d.startTask(p)
 }
 
-// Reattach implements Workload.
-func (d *DiskStress) Reattach(ctr *container.Container, appState any) {
+// Reattach implements Workload. A missing working file or process is a
+// restore-validation failure: recorded as an app error (the oracle
+// surface) and returned, with the stress loop left stopped.
+func (d *DiskStress) Reattach(ctr *container.Container, appState any) error {
 	d.ctr = ctr
 	d.RestoreState(appState)
 	ctr.App = d
 	d.file = ctr.FS.Open("/data/stress")
 	if d.file == nil {
-		panic("workloads: diskstress file missing after restore")
+		return d.reattachFail("workloads: diskstress file missing after restore")
+	}
+	if len(ctr.Procs) == 0 {
+		return d.reattachFail("workloads: restored diskstress container has no process")
 	}
 	d.startTask(ctr.Procs[0])
+	return nil
+}
+
+func (d *DiskStress) reattachFail(msg string) error {
+	d.state.Errors = append(d.state.Errors, msg)
+	return fmt.Errorf("%s", msg)
 }
 
 func (d *DiskStress) startTask(p *simkernel.Process) {

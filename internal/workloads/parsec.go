@@ -28,11 +28,13 @@ type parsecState struct {
 	Cursors   []int // per-thread partition cursor
 	HeapStart uint64
 	Stamp     byte
+	Errors    []string
 }
 
 func (st *parsecState) clone() *parsecState {
 	cp := *st
 	cp.Cursors = append([]int(nil), st.Cursors...)
+	cp.Errors = append([]string(nil), st.Errors...)
 	return &cp
 }
 
@@ -52,6 +54,14 @@ func (pw *Parsec) RestoreState(s any)              { pw.state = s.(*parsecState)
 func (pw *Parsec) Done() bool                      { return pw.state.Completed >= pw.prof.WorkUnits }
 func (pw *Parsec) CompletedUnits() int             { return pw.state.Completed }
 func (pw *Parsec) Container() *container.Container { return pw.ctr }
+
+// Errors returns restore- and run-time validation failures.
+func (pw *Parsec) Errors() []string { return pw.state.Errors }
+
+func (pw *Parsec) fail(msg string) error {
+	pw.state.Errors = append(pw.state.Errors, msg)
+	return fmt.Errorf("%s", msg)
+}
 
 // Install sets up the process, threads, and heap.
 func (pw *Parsec) Install(ctr *container.Container) {
@@ -74,23 +84,26 @@ func (pw *Parsec) Install(ctr *container.Container) {
 	}
 }
 
-// Reattach rebinds threads on a restored container.
-func (pw *Parsec) Reattach(ctr *container.Container, appState any) {
+// Reattach rebinds threads on a restored container. Restore-validation
+// failures (no process, missing heap VMA) are recorded as app errors
+// (the oracle surface) and returned; the kernel simply stays stopped.
+func (pw *Parsec) Reattach(ctr *container.Container, appState any) error {
 	pw.ctr = ctr
 	pw.RestoreState(appState)
 	ctr.App = pw
 	if len(ctr.Procs) == 0 {
-		panic("workloads: restored parsec container has no process")
+		return pw.fail("workloads: restored parsec container has no process")
 	}
 	p := ctr.Procs[0]
 	pw.proc = p
 	pw.heap = p.Mem.FindVMA(pw.state.HeapStart)
 	if pw.heap == nil {
-		panic("workloads: restored parsec heap not found")
+		return pw.fail("workloads: restored parsec heap not found")
 	}
 	for ti := 0; ti < pw.prof.ThreadsPer && ti < len(p.Threads); ti++ {
 		pw.startThread(p.Threads[ti], ti)
 	}
+	return nil
 }
 
 func (pw *Parsec) startThread(th *simkernel.Thread, ti int) {
@@ -116,7 +129,12 @@ func (pw *Parsec) startThread(th *simkernel.Thread, ti int) {
 			cur = 0
 		}
 		if err := pw.proc.Mem.Touch(pw.heap, base+cur, n, pw.state.Stamp); err != nil {
-			panic(fmt.Sprintf("workloads: parsec touch: %v", err))
+			// A touch that faults means the restored address space does not
+			// cover the working set — record it for the validation oracles
+			// and park this thread instead of crashing the simulation.
+			_ = pw.fail(fmt.Sprintf("workloads: parsec touch: %v", err))
+			th.InSyscall = false
+			return 0, container.Blocked
 		}
 		pw.state.Cursors[ti] = (cur + n) % part
 		return pw.prof.UnitCPU, pw.prof.UnitCPU

@@ -2,10 +2,12 @@ package workloads
 
 import (
 	"fmt"
+	"strings"
 
 	"nilicon/internal/core"
 	"nilicon/internal/simnet"
 	"nilicon/internal/simtime"
+	"nilicon/internal/traffic"
 )
 
 // The seven paper benchmarks (§VI), with footprints calibrated so the
@@ -175,6 +177,12 @@ func BenchmarkNames() []string {
 	return []string{"swaptions", "streamcluster", "redis", "ssdb", "node", "lighttpd", "djcms"}
 }
 
+// AllNames lists every name ByName accepts: the seven paper benchmarks
+// plus the §VII validation microbenchmarks.
+func AllNames() []string {
+	return append(BenchmarkNames(), "net", "netstress", "diskstress")
+}
+
 // ByName constructs a benchmark workload by its paper name.
 func ByName(name string) (Workload, error) {
 	switch name {
@@ -199,7 +207,7 @@ func ByName(name string) (Workload, error) {
 	case "diskstress":
 		return NewDiskStress(1), nil
 	default:
-		return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+		return nil, fmt.Errorf("workloads: unknown benchmark %q (valid: %s)", name, strings.Join(AllNames(), ", "))
 	}
 }
 
@@ -225,4 +233,12 @@ func (sv *Server) NewClients(cl *core.Cluster, serverIP string, n int, seed int6
 		n = 1
 	}
 	return NewClientSet(cl, sv.prof, simnet.Addr(serverIP), ClientKindFor(sv.prof.Name), n, seed)
+}
+
+// NewTraceClients replaces the uniform client set with the open-loop
+// trace replayer on the same wire protocol: the trace decides every
+// arrival instant, key and op, and the windowed SLO judge observes the
+// latency. Call Start on the returned set to fire the arrivals.
+func (sv *Server) NewTraceClients(cl *core.Cluster, serverIP string, tr *traffic.Trace, slo traffic.SLO) *TraceClientSet {
+	return NewTraceClientSet(cl, sv.prof, simnet.Addr(serverIP), tr, slo)
 }

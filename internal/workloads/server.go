@@ -163,8 +163,11 @@ func (sv *Server) Install(ctr *container.Container) {
 	ctr.Stack.Listen(sv.prof.Port, sv.accept)
 }
 
-// Reattach rebuilds the server on a restored container.
-func (sv *Server) Reattach(ctr *container.Container, appState any) {
+// Reattach rebuilds the server on a restored container. A missing heap
+// VMA is a restore-validation failure: it is recorded as an app error
+// (the oracle surface) and returned, and the affected process serves no
+// requests rather than crashing the failover path.
+func (sv *Server) Reattach(ctr *container.Container, appState any) error {
 	sv.ctr = ctr
 	sv.RestoreState(appState)
 	sv.readers = make(map[connID]*FrameReader)
@@ -186,6 +189,7 @@ func (sv *Server) Reattach(ctr *container.Container, appState any) {
 	if workerProcs <= 0 {
 		workerProcs = sv.prof.Procs
 	}
+	var reattachErr error
 	wi := 0
 	for pi := 0; pi < sv.prof.Procs && pi < len(procs); pi++ {
 		p := procs[pi]
@@ -194,7 +198,9 @@ func (sv *Server) Reattach(ctr *container.Container, appState any) {
 			heap = p.Mem.FindVMA(sv.state.HeapStarts[pi])
 		}
 		if heap == nil {
-			panic("workloads: restored heap VMA not found")
+			reattachErr = fmt.Errorf("workloads: %s restore: heap VMA for process %d not found", sv.prof.Name, pi)
+			sv.fail(reattachErr.Error())
+			continue
 		}
 		if pi >= workerProcs {
 			sv.startBackground(p)
@@ -230,6 +236,7 @@ func (sv *Server) Reattach(ctr *container.Container, appState any) {
 		}
 	}
 	sv.wakeWorkers()
+	return reattachErr
 }
 
 // startBackground runs a non-worker process (reverse proxy, database

@@ -115,8 +115,14 @@ type Workload interface {
 	// Install sets the workload up inside a fresh container.
 	Install(ctr *container.Container)
 	// Reattach rebuilds the workload on a restored container from the
-	// checkpointed application state.
-	Reattach(ctr *container.Container, appState any)
+	// checkpointed application state. A restore-validation failure (a
+	// heap VMA or file the checkpoint should have carried is missing) is
+	// returned as an error AND recorded in the workload's own error
+	// list, so harness oracles that only inspect app errors still see
+	// it; callers on the failover path log rather than crash — a failed
+	// reattach leaves a restored container without its workload, which
+	// the validation oracles then report.
+	Reattach(ctr *container.Container, appState any) error
 }
 
 // ServerWorkload additionally serves network clients.

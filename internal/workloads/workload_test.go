@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -113,6 +114,22 @@ func TestByNameCoversAll(t *testing.T) {
 	}
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestByNameUnknownListsValidNames(t *testing.T) {
+	_, err := ByName("redsi")
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"redsi"`) {
+		t.Fatalf("error does not echo the bad name: %v", err)
+	}
+	for _, name := range AllNames() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error does not list valid name %q: %v", name, err)
+		}
 	}
 }
 
@@ -250,7 +267,9 @@ func replicatedEnv(t *testing.T, wl Workload) (*wlEnv, *core.Replicator) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fresh.Reattach(rc, state)
+		if err := fresh.Reattach(rc, state); err != nil {
+			t.Errorf("reattach %s: %v", prof.Name, err)
+		}
 	}
 	repl := core.NewReplicator(env.cl, env.ctr, cfg)
 	repl.Start()
