@@ -18,10 +18,13 @@
 //	               delta-compression rows, as JSON on stdout
 //	chaos          Seeded deterministic fault campaign with invariant
 //	               oracles (-sweep for the full matrix, including the
-//	               fleet scenarios)
+//	               fleet scenarios; -replicas N>2 runs the f+1 chain
+//	               campaign with witness-quorum promotion instead)
 //	fleet          Fleet campaign: -pairs containers over -hosts workers
 //	               (+ -spares), -kills concurrent host failures, all
-//	               oracles verified (-smoke for the reduced CI shape)
+//	               oracles verified (-smoke for the reduced CI shape;
+//	               -replicas N>2 places f+1 chains zone-anti-affine over
+//	               -zones failure domains and kills a whole zone)
 //	fleetbench     BENCH_4.json: fleet scaling sweep, as JSON on stdout
 //	bench5         BENCH_5.json: simulation-engine event throughput,
 //	               serial clock vs sharded event wheels, as JSON on
@@ -41,6 +44,9 @@
 //	bench8         BENCH_8.json: client-observed SLO ladder — uniform vs
 //	               zipf vs burst traces through a mid-run failover, as
 //	               JSON on stdout
+//	bench9         BENCH_9.json: f+1 replication ladder — failover time
+//	               and fan-out wire bytes at chain widths 2/3/4, single
+//	               host kill vs whole-zone kill, as JSON on stdout
 //	scale-threads  Streamcluster 1..32 threads
 //	scale-clients  Lighttpd 2..128 clients
 //	scale-procs    Lighttpd 1..8 processes
@@ -115,6 +121,8 @@ type app struct {
 	hosts    *int
 	spares   *int
 	kills    *int
+	replicas *int
+	zones    *int
 	smoke    *bool
 	degrade  *string
 	shards   *int
@@ -155,6 +163,8 @@ func newApp(stdout, stderr io.Writer) *app {
 	a.hosts = fs.Int("hosts", 4, "fleet: worker hosts in the pool")
 	a.spares = fs.Int("spares", 2, "fleet: spare hosts for re-protection")
 	a.kills = fs.Int("kills", 2, "fleet: concurrent host failures to inject")
+	a.replicas = fs.Int("replicas", 2, "chaos/fleet: chain width, primary + N-1 backup replicas (>2 runs the f+1 chain machinery; fleet then kills a whole zone)")
+	a.zones = fs.Int("zones", 0, "fleet: failure domains for zone-anti-affine chain placement (0 = auto: max(replicas, 1))")
 	a.smoke = fs.Bool("smoke", false, "fleet: reduced CI shape (4 pairs, 4 hosts, 1 kill, short window)")
 	a.degrade = fs.String("degrade", "strict", "chaos/fleet: lease degradation policy (strict|availability)")
 	a.shards = fs.Int("shards", 0, "chaos/fleet: simulation engine (0 = serial clock; N>=1 = sharded event wheels with N lanes, trace-identical for any N)")
@@ -169,7 +179,7 @@ func newApp(stdout, stderr io.Writer) *app {
 	a.cpuprof = fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	a.memprof = fs.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|bench|chaos|fleet|fleetbench|bench5|bench6|bench7|traffic|bench8|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
+		fmt.Fprintf(stderr, "usage: niliconctl <table1|table2|fig3|table6|validate|pipeline|bench|chaos|fleet|fleetbench|bench5|bench6|bench7|traffic|bench8|bench9|scale-threads|scale-clients|scale-procs|report|timeline|all> [flags]\n")
 		fs.PrintDefaults()
 	}
 	return a
@@ -288,6 +298,12 @@ func (a *app) validate() error {
 	if *a.runs < 1 {
 		return fmt.Errorf("-runs must be >= 1 (got %d)", *a.runs)
 	}
+	if *a.replicas < 2 {
+		return fmt.Errorf("-replicas must be >= 2 (got %d)", *a.replicas)
+	}
+	if *a.zones < 0 {
+		return fmt.Errorf("-zones must be >= 0 (got %d)", *a.zones)
+	}
 	pol, err := core.ParseDegradePolicy(*a.degrade)
 	if err != nil {
 		return fmt.Errorf("-degrade: %v", err)
@@ -299,7 +315,7 @@ func (a *app) validate() error {
 var commands = []string{
 	"table1", "table2", "fig3", "table6", "validate", "pipeline", "bench",
 	"chaos", "fleet", "fleetbench", "bench5", "bench6", "bench7",
-	"traffic", "bench8",
+	"traffic", "bench8", "bench9",
 	"scale-threads", "scale-clients", "scale-procs", "report", "timeline", "all",
 }
 
@@ -351,6 +367,8 @@ func (a *app) runCommand(name string) error {
 		return a.runTraffic()
 	case "bench8":
 		return a.runBench8()
+	case "bench9":
+		return a.runBench9()
 	case "scale-threads":
 		return a.runTable(func(rc harness.RunConfig) fmt.Stringer { _, tb := harness.RunScaleThreads(nil, rc); return tb })
 	case "scale-clients":
@@ -422,6 +440,25 @@ func (a *app) runChaos() error {
 	}
 	if opts == nil {
 		return fmt.Errorf("unknown option set %q", *a.optsName)
+	}
+	if *a.replicas > 2 {
+		// f+1 chain campaign: a witness-arbitrated chain of -replicas
+		// members through the chain fault kinds (zone-kill,
+		// witness-partition, asym-cut) and a terminal primary kill. The
+		// trace is byte-identical for any -shards/-workers value.
+		res := chaos.VerifyChainSeed(chaos.ChainConfig{
+			Seed: *a.seed, Opts: *opts, OptName: *a.optsName,
+			Replicas: *a.replicas,
+			Kills:    1,
+			Duration: simtime.Duration(*a.chaosDur),
+			Shards:   *a.shards,
+			Workers:  *a.workers,
+		})
+		fmt.Fprint(a.stdout, res.Trace)
+		if !res.Passed {
+			return fmt.Errorf("chain campaign failed (seed %d, opts %s, replicas %d)", *a.seed, *a.optsName, *a.replicas)
+		}
+		return nil
 	}
 	cfg := chaos.Config{
 		Seed: *a.seed, Opts: *opts, OptName: *a.optsName,
@@ -570,8 +607,18 @@ func (a *app) runFleet() error {
 		cfg.Pairs, cfg.Workers, cfg.Spares, cfg.Kills = 4, 4, 1, 1
 		cfg.Duration = 600 * simtime.Millisecond
 	}
+	// Chain flags apply after the smoke shape so the CI form
+	// `fleet -smoke -replicas 3 -zones 3` runs small chains; wider
+	// chains need one spare per zone for zone-kill re-protection.
+	cfg.Replicas, cfg.Zones = *a.replicas, *a.zones
+	if *a.smoke && cfg.Replicas > 2 && cfg.Spares < cfg.Replicas {
+		cfg.Spares = cfg.Replicas
+	}
 	if cfg.Pairs <= 0 || cfg.Workers < 2 {
 		return fmt.Errorf("need at least 1 pair and 2 hosts (got -pairs %d -hosts %d)", cfg.Pairs, cfg.Workers)
+	}
+	if cfg.Workers < cfg.Replicas {
+		return fmt.Errorf("zone-anti-affine chains need -hosts >= -replicas (got -hosts %d -replicas %d)", cfg.Workers, cfg.Replicas)
 	}
 	res := chaos.VerifyFleetSeed(cfg)
 	fmt.Fprint(a.stdout, res.Trace)
@@ -612,6 +659,17 @@ func (a *app) runBench5() error {
 func (a *app) runBench7() error {
 	rep := harness.RunBench7(*a.seed)
 	fmt.Fprintln(a.stderr, harness.Bench7Table(rep))
+	out, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = a.stdout.Write(out)
+	return err
+}
+
+func (a *app) runBench9() error {
+	rep := harness.RunBench9(*a.seed)
+	fmt.Fprintln(a.stderr, harness.Bench9Table(rep))
 	out, err := rep.JSON()
 	if err != nil {
 		return err

@@ -40,6 +40,18 @@ type FleetConfig struct {
 	// hosts at once, which is outside NiLiCon's fault model (one failure
 	// per pair at a time).
 	Kills int
+	// Replicas/Zones configure f+1 chains and failure domains on the
+	// pool (cluster.Params). Replicas > 2 forces KillZone: zone
+	// anti-affinity is what guarantees a single instant takes at most
+	// one host from any chain, which the convergence accounting (and
+	// the fault model: f failures spread across domains, not two hosts
+	// of one chain) depends on.
+	Replicas int
+	Zones    int
+	// KillZone replaces the Kills independent host victims with an
+	// entire failure domain drawn from the seed: every host in the
+	// chosen zone — workers and spares — dies in the same instant.
+	KillZone bool
 	// Duration is the writer window between warmup and verification.
 	// Default 900 ms.
 	Duration simtime.Duration
@@ -87,6 +99,21 @@ func (cfg *FleetConfig) defaults() {
 	if cfg.OptName == "" {
 		cfg.OptName = "custom"
 	}
+	if cfg.Replicas < 2 {
+		cfg.Replicas = 2
+	}
+	if cfg.Zones < 1 {
+		cfg.Zones = 1
+	}
+	if cfg.Replicas > 2 {
+		cfg.KillZone = true
+		if cfg.Zones < cfg.Replicas {
+			cfg.Zones = cfg.Replicas
+		}
+	}
+	if cfg.KillZone && cfg.Zones < 2 {
+		cfg.Zones = 2
+	}
 }
 
 // Fleet campaign phase layout (virtual time).
@@ -115,8 +142,9 @@ type fleetCampaign struct {
 	sent    []int
 	acked   []int
 
-	killAt  simtime.Duration
-	victims []int
+	killAt   simtime.Duration
+	victims  []int
+	killZone int // -1 unless cfg.KillZone
 
 	trace    strings.Builder
 	verdicts []Verdict
@@ -177,6 +205,20 @@ func (c *fleetCampaign) drawKills() {
 	}
 	c.killAt = simtime.Duration(lo + rng.Int63n(hi-lo))
 
+	c.killZone = -1
+	if c.cfg.KillZone {
+		// One failure domain burns down: every host whose index maps to
+		// the drawn zone (i mod Zones, the fleet's placement rule) dies
+		// at the kill instant — spares included.
+		c.killZone = rng.Intn(c.cfg.Zones)
+		for h := 0; h < c.cfg.Workers+c.cfg.Spares; h++ {
+			if h%c.cfg.Zones == c.killZone {
+				c.victims = append(c.victims, h)
+			}
+		}
+		return
+	}
+
 	w := c.cfg.Workers
 	adjacent := func(a, b int) bool {
 		d := (a - b + w) % w
@@ -209,13 +251,15 @@ func (c *fleetCampaign) build() {
 		lease = core.DefaultLease()
 	}
 	params := cluster.Params{
-		Workers: c.cfg.Workers,
-		Spares:  c.cfg.Spares,
-		Pairs:   c.cfg.Pairs,
-		Seed:    c.cfg.Seed,
-		Opts:    &c.cfg.Opts,
-		Lease:   lease,
-		Degrade: c.cfg.Degrade,
+		Workers:  c.cfg.Workers,
+		Spares:   c.cfg.Spares,
+		Pairs:    c.cfg.Pairs,
+		Replicas: c.cfg.Replicas,
+		Zones:    c.cfg.Zones,
+		Seed:     c.cfg.Seed,
+		Opts:     &c.cfg.Opts,
+		Lease:    lease,
+		Degrade:  c.cfg.Degrade,
 		// Two concurrent resyncs: with several pairs displaced per host
 		// kill, strictly serial re-protection would leave the fleet
 		// degraded for most of the campaign.
@@ -253,9 +297,14 @@ func (c *fleetCampaign) emitHeader() {
 	if c.cfg.PreLease {
 		lease = "off"
 	}
-	fmt.Fprintf(&c.trace, "chaos-fleet seed=%d opts=%s pairs=%d workers=%d spares=%d duration=%s lease=%s degrade=%s\n",
-		c.cfg.Seed, c.cfg.OptName, c.cfg.Pairs, c.cfg.Workers, c.cfg.Spares, c.cfg.Duration, lease, c.cfg.Degrade)
-	fmt.Fprintf(&c.trace, "sched kill-at=%d victims=%v\n", int64(c.killAt), c.victims)
+	fmt.Fprintf(&c.trace, "chaos-fleet seed=%d opts=%s pairs=%d workers=%d spares=%d replicas=%d zones=%d duration=%s lease=%s degrade=%s\n",
+		c.cfg.Seed, c.cfg.OptName, c.cfg.Pairs, c.cfg.Workers, c.cfg.Spares,
+		c.cfg.Replicas, c.cfg.Zones, c.cfg.Duration, lease, c.cfg.Degrade)
+	if c.killZone >= 0 {
+		fmt.Fprintf(&c.trace, "sched kill-at=%d zone=%d victims=%v\n", int64(c.killAt), c.killZone, c.victims)
+	} else {
+		fmt.Fprintf(&c.trace, "sched kill-at=%d victims=%v\n", int64(c.killAt), c.victims)
+	}
 	if tr := c.cfg.Traffic; tr != nil {
 		slo := c.cfg.SLO.WithDefaults()
 		fmt.Fprintf(&c.trace, "traffic name=%s reqs=%d clients=%d keys=%d dur=%s slo=p%v<%s/%s\n",
@@ -311,15 +360,29 @@ func (c *fleetCampaign) execute() {
 	}
 
 	// The host kills: all victims in the same virtual-time instant.
+	// detectable marks the victims hosting at least one agent at the kill
+	// instant: those MUST be declared dead. A victim spare with nothing
+	// placed on it is legitimately undiscovered until a repair probes it
+	// — and that probe costs one extra fence, which is why the fence
+	// count below is a floor, not an equality.
 	expFailovers, expFences := 0, 0
+	isVictim := make(map[int]bool)
+	detectable := make(map[int]bool)
 	c.clock.ScheduleAt(simtime.Time(c.killAt), func() {
+		for _, v := range c.victims {
+			isVictim[v] = true
+		}
 		for _, pr := range f.Pairs {
-			for _, v := range c.victims {
-				if pr.PrimaryHost == v {
-					expFailovers++
-				}
-				if pr.BackupHost == v {
+			if isVictim[pr.PrimaryHost] {
+				expFailovers++
+				detectable[pr.PrimaryHost] = true
+			}
+			// Every chain slot on a victim host fences (reduces to the
+			// classic backup-host check: ReplicaHosts[0] == BackupHost).
+			for _, rh := range pr.ReplicaHosts {
+				if isVictim[rh] {
 					expFences++
+					detectable[rh] = true
 				}
 			}
 		}
@@ -357,11 +420,29 @@ func (c *fleetCampaign) execute() {
 		gotFailovers += pr.Failovers
 		gotFences += pr.Fences
 	}
-	convOK := c.allProtected() && gotFailovers == expFailovers && gotFences == expFences
+	// Belief audit against ground truth: every host the control plane
+	// declared dead must be an actual victim (no wrongful conviction —
+	// the only path to fencing an innocent slot), and every victim that
+	// hosted an agent at kill time must be declared. With that, fences
+	// beyond the floor are provably repair probes into dead spares.
+	belief := ""
+	for _, h := range f.Hosts {
+		if !h.Alive && !isVictim[h.Index] {
+			belief = fmt.Sprintf(" wrongful-conviction=%s", h.Name)
+			break
+		}
+	}
+	for _, v := range c.victims {
+		if detectable[v] && f.Hosts[v].Alive {
+			belief = fmt.Sprintf(" undetected-victim=%s", f.Hosts[v].Name)
+			break
+		}
+	}
+	convOK := c.allProtected() && gotFailovers == expFailovers && gotFences >= expFences && belief == ""
 	c.verdicts = append(c.verdicts, Verdict{
 		Oracle: "convergence", OK: convOK,
-		Detail: fmt.Sprintf("failovers=%d/%d fences=%d/%d states=%s at t=%d",
-			gotFailovers, expFailovers, gotFences, expFences, c.stateSummary(), int64(c.clock.Now())),
+		Detail: fmt.Sprintf("failovers=%d/%d fences=%d/>=%d%s states=%s at t=%d",
+			gotFailovers, expFailovers, gotFences, expFences, belief, c.stateSummary(), int64(c.clock.Now())),
 	})
 
 	if c.traffic != nil {
@@ -399,7 +480,8 @@ func (c *fleetCampaign) stateSummary() string {
 
 // checkOutputCommit samples the output-commit invariant on every pair
 // with an active replicator generation: released output never runs
-// ahead of the backup's committed epoch.
+// ahead of the quorum-committed epoch (quorumCommitted — reduces to
+// the backup's committed epoch for classic pairs).
 func (c *fleetCampaign) checkOutputCommit() {
 	for _, pr := range c.fleet.Pairs {
 		if pr.State != cluster.Protected && pr.State != cluster.Resyncing {
@@ -410,7 +492,7 @@ func (c *fleetCampaign) checkOutputCommit() {
 			continue
 		}
 		c.ocChecks++
-		com, comOK := pr.Repl.Backup.CommittedEpoch()
+		com, comOK := quorumCommitted(pr.Repl)
 		if !comOK || rel > com {
 			c.ocViolations++
 			if c.ocDetail == "" {
@@ -429,14 +511,7 @@ func (c *fleetCampaign) checkOutputCommit() {
 func (c *fleetCampaign) checkServing() {
 	for _, pr := range c.fleet.Pairs {
 		c.svChecks++
-		n := 0
-		if pr.Repl.Serving() {
-			n++
-		}
-		if pr.Repl.Backup.Serving() {
-			n++
-		}
-		if n > 1 {
+		if n := servingCount(pr.Repl); n > 1 {
 			c.svViolations++
 			if c.svDetail == "" {
 				c.svDetail = fmt.Sprintf("pair=%s dual-serving state=%s lease=%s at t=%d",

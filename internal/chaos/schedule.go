@@ -9,7 +9,7 @@ import (
 // event is one scheduled transient fault.
 type event struct {
 	At   simtime.Duration // campaign-relative injection time
-	Kind string           // cut-repl | cut-ack | partition | oneway-pb | oneway-bp | flap
+	Kind string           // cut-repl | cut-ack | partition | oneway-pb | oneway-bp | flap | zone-kill | witness-partition | asym-cut
 	For  simtime.Duration // outage length before the heal
 }
 
@@ -99,6 +99,17 @@ func drawSchedule(cfg Config) schedule {
 				ev.For = onewayMin + simtime.Duration(rng.Int63n(int64(onewayMax-onewayMin)))
 			case "flap":
 				ev.For = flapMin + simtime.Duration(rng.Int63n(int64(flapMax-flapMin)))
+			case "zone-kill":
+				// Permanent: a replica's failure domain burns down and
+				// never heals. For=0 so the separation pass treats it as
+				// an instant.
+				ev.For = 0
+			case "witness-partition", "asym-cut":
+				// Chain geometries (DESIGN.md §15) use the sustained
+				// profile: long enough to cross the detection threshold
+				// and the lease term, which is where quorum promotion
+				// either holds the line or (PreQuorum) dual-serves.
+				ev.For = onewayMin + simtime.Duration(rng.Int63n(int64(onewayMax-onewayMin)))
 			default:
 				panic("chaos: unknown fault kind " + ev.Kind)
 			}

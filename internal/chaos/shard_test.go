@@ -162,3 +162,37 @@ func TestShardParityReplay(t *testing.T) {
 		})
 	})
 }
+
+// TestShardParityChain extends the lane-count-invariance guarantee to
+// f+1 chain campaigns: per-slot fan-out transfers, the witness's
+// cross-shard candidacy/promote links, quorum-gated release and the
+// f=2 double kill must all produce byte-identical traces at every
+// (shards, workers) configuration. On the sharded engine each backup
+// host gets its own shard, so a 3-replica chain genuinely exercises
+// three-way cross-shard traffic.
+func TestShardParityChain(t *testing.T) {
+	for _, seed := range []int64{1, 2, 5} {
+		assertParity(t, "chain/kill", func(shards, workers int) Result {
+			return RunChain(ChainConfig{
+				Seed: seed, Opts: core.AllOpts(), OptName: "all",
+				Replicas: 3, Kills: 1,
+				Shards: shards, Workers: workers,
+			})
+		})
+	}
+	assertParity(t, "chain/f2", func(shards, workers int) Result {
+		return RunChain(ChainConfig{
+			Seed: 3, Opts: core.AllOpts(), OptName: "all",
+			Replicas: 3, Kills: 2, Events: -1,
+			Shards: shards, Workers: workers,
+		})
+	})
+	assertParity(t, "chain/geometries", func(shards, workers int) Result {
+		return RunChain(ChainConfig{
+			Seed: 2, Opts: core.AllOpts(), OptName: "all",
+			Replicas: 3, Kills: -1, Events: 2,
+			FaultKinds: []string{"witness-partition", "asym-cut"},
+			Shards:     shards, Workers: workers,
+		})
+	})
+}

@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nilicon/internal/simtime"
+)
+
+// TestPlaceChainsZoneAntiAffinity: every chain's hosts are distinct and
+// land in distinct zones when zones >= replicas.
+func TestPlaceChainsZoneAntiAffinity(t *testing.T) {
+	pls, err := PlaceChains(6, 6, 3, 3, 8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range pls {
+		hosts := append([]int{pl.Primary, pl.Backup}, pl.Extras...)
+		if len(hosts) != 3 {
+			t.Fatalf("chain %d has %d hosts, want 3", pl.Pair, len(hosts))
+		}
+		seenHost := make(map[int]bool)
+		seenZone := make(map[int]bool)
+		for _, h := range hosts {
+			if seenHost[h] {
+				t.Fatalf("chain %d places two replicas on host %d", pl.Pair, h)
+			}
+			seenHost[h] = true
+			if z := h % 3; seenZone[z] {
+				t.Fatalf("chain %d places two replicas in zone %d (hosts %v)", pl.Pair, z, hosts)
+			} else {
+				seenZone[z] = true
+			}
+		}
+	}
+}
+
+// TestPlaceChainsReducesToPlacePairs: with one zone and two replicas the
+// chain engine makes exactly the classic ring choices.
+func TestPlaceChainsReducesToPlacePairs(t *testing.T) {
+	chains, err := PlaceChains(8, 4, 1, 2, 8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := PlacePairs(8, 4, 8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if chains[i].Primary != pairs[i].Primary || chains[i].Backup != pairs[i].Backup {
+			t.Fatalf("placement %d diverges: chain %+v vs pair %+v", i, chains[i], pairs[i])
+		}
+		if len(chains[i].Extras) != 0 {
+			t.Fatalf("placement %d has extras %v for replicas=2", i, chains[i].Extras)
+		}
+	}
+}
+
+func TestPlaceChainsCapacity(t *testing.T) {
+	if _, err := PlaceChains(1, 2, 1, 3, 8, 4096); err == nil {
+		t.Fatal("3-replica chain on 2 workers accepted (distinct hosts impossible)")
+	}
+	if _, err := PlaceChains(8, 3, 1, 3, 8, 1024); err == nil {
+		t.Fatal("8 chains with 1024 pages/host accepted")
+	}
+}
+
+func chainParams(seed int64) Params {
+	return Params{Workers: 6, Spares: 1, Pairs: 4, Seed: seed, Replicas: 3, Zones: 3}
+}
+
+// TestFleetChainSteadyState: a 3-replica fleet reaches full strength —
+// every pair Protected, both chain replicas acking, ack-lag gauges
+// bounded, and the summary reporting the chain columns.
+func TestFleetChainSteadyState(t *testing.T) {
+	clock, f := newTestFleet(t, chainParams(11))
+	f.Start()
+	clock.RunFor(900 * simtime.Millisecond)
+
+	for _, pr := range f.Pairs {
+		if pr.State != Protected {
+			t.Fatalf("pair %s state = %v after warmup", pr.ID, pr.State)
+		}
+		if got := f.liveBackups(pr); got != 2 {
+			t.Fatalf("pair %s live backups = %d, want 2", pr.ID, got)
+		}
+		for i := 0; i < pr.Repl.Replicas(); i++ {
+			acked, ok := pr.Repl.ReplicaAcked(i)
+			if !ok || acked < 10 {
+				t.Fatalf("pair %s replica %d acked = %d/%v, want >= 10", pr.ID, i, acked, ok)
+			}
+			if lag := pr.Repl.ReplicaAckLag(i); lag > 3 {
+				t.Fatalf("pair %s replica %d ack lag = %d", pr.ID, i, lag)
+			}
+			if g := pr.Repl.ReplicaAckLagGauge(i).Value(); g > 3 {
+				t.Fatalf("pair %s replica %d lag gauge = %d", pr.ID, i, g)
+			}
+		}
+		// Replica hosts really span three zones.
+		zones := map[int]bool{f.Hosts[pr.PrimaryHost].Zone: true}
+		for _, rh := range pr.ReplicaHosts {
+			zones[f.Hosts[rh].Zone] = true
+		}
+		if len(zones) != 3 {
+			t.Fatalf("pair %s spans %d zones, want 3", pr.ID, len(zones))
+		}
+	}
+
+	tb, err := f.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := strings.Join(tb.Headers, " ")
+	if !strings.Contains(hdr, "Replicas") || !strings.Contains(hdr, "Quorum") {
+		t.Fatalf("summary header missing chain columns: %s", hdr)
+	}
+}
+
+// TestFleetChainZoneKill: killing an entire failure domain never loses a
+// pair — primaries in the zone fail over to a surviving replica, chains
+// that lost a replica stay Protected on the survivors, and repair grows
+// every chain back to full strength.
+func TestFleetChainZoneKill(t *testing.T) {
+	clock, f := newTestFleet(t, chainParams(12))
+	var events []string
+	f.Eventf = func(format string, args ...any) {
+		events = append(events, fmt.Sprintf("t=%d ", int64(clock.Now()))+fmt.Sprintf(format, args...))
+	}
+	f.Start()
+	clock.RunFor(900 * simtime.Millisecond)
+
+	f.KillZone(0) // hosts 0, 3, 6 (the spare)
+	clock.RunFor(6 * simtime.Second)
+
+	for _, h := range f.Hosts {
+		if h.Zone == 0 && h.Alive && !h.Spare {
+			t.Fatalf("detector never declared zone-0 worker %s dead", h.Name)
+		}
+		if h.Zone != 0 && !h.Alive {
+			t.Fatalf("innocent host %s convicted (events:\n%s)", h.Name, strings.Join(events, "\n"))
+		}
+	}
+	for _, pr := range f.Pairs {
+		if pr.State == Lost {
+			t.Fatalf("pair %s lost to a single-zone failure (events:\n%s)",
+				pr.ID, strings.Join(events, "\n"))
+		}
+		if pr.State != Protected {
+			t.Fatalf("pair %s state = %v after repair window (events:\n%s)",
+				pr.ID, pr.State, strings.Join(events, "\n"))
+		}
+		if f.Hosts[pr.PrimaryHost].Zone == 0 {
+			t.Fatalf("pair %s primary still in the dead zone", pr.ID)
+		}
+		if got := f.liveBackups(pr); got != 2 {
+			t.Fatalf("pair %s live backups = %d after repair, want 2", pr.ID, got)
+		}
+	}
+
+	// Workloads kept running through it.
+	before := make(map[string]uint64)
+	for _, pr := range f.Pairs {
+		before[pr.ID] = pr.Workload.(*DirtyLoop).Seq()
+	}
+	clock.RunFor(200 * simtime.Millisecond)
+	for _, pr := range f.Pairs {
+		if got := pr.Workload.(*DirtyLoop).Seq(); got <= before[pr.ID] {
+			t.Fatalf("pair %s workload stalled (%d -> %d)", pr.ID, before[pr.ID], got)
+		}
+	}
+}
+
+// TestFleetChainTwoSimultaneousFailures is the fleet-level f=2 claim: a
+// 3-replica chain survives its primary host and one replica host dying
+// in the same instant — the election skips the dead replica and promotes
+// the survivor.
+func TestFleetChainTwoSimultaneousFailures(t *testing.T) {
+	clock, f := newTestFleet(t, Params{Workers: 6, Spares: 0, Pairs: 6, Seed: 13, Replicas: 3, Zones: 3})
+	var events []string
+	f.Eventf = func(format string, args ...any) {
+		events = append(events, fmt.Sprintf(format, args...))
+	}
+	f.Start()
+	clock.RunFor(900 * simtime.Millisecond)
+
+	// Chain p00: primary host0, replicas on hosts 1 and 2. Kill the
+	// primary and the slot-0 replica together.
+	p0 := f.Pairs[0]
+	if p0.PrimaryHost != 0 || p0.ReplicaHosts[0] != 1 || p0.ReplicaHosts[1] != 2 {
+		t.Fatalf("unexpected p00 placement: pri=%d replicas=%v", p0.PrimaryHost, p0.ReplicaHosts)
+	}
+	f.KillHost(0)
+	f.KillHost(1)
+	clock.RunFor(6 * simtime.Second)
+
+	if p0.State == Lost {
+		t.Fatalf("p00 lost to f=2 with a 3-replica chain (events:\n%s)", strings.Join(events, "\n"))
+	}
+	if p0.Failovers != 1 {
+		t.Fatalf("p00 failovers = %d, want 1", p0.Failovers)
+	}
+	if f.Hosts[p0.PrimaryHost].Zone != 2 {
+		t.Fatalf("p00 promoted onto host %d (zone %d), want the zone-2 survivor",
+			p0.PrimaryHost, f.Hosts[p0.PrimaryHost].Zone)
+	}
+	for _, pr := range f.Pairs {
+		if pr.State == Lost {
+			t.Fatalf("pair %s lost (events:\n%s)", pr.ID, strings.Join(events, "\n"))
+		}
+	}
+}
+
+// TestDetectorThreeSimultaneousKillsNoInnocentConviction is the
+// regression for the suspect-filtered sweep at higher failure counts:
+// three hosts dying in the same instant silence many observers at once,
+// and the second round must still refuse to convict any host whose only
+// stale evidence came from the corpses.
+func TestDetectorThreeSimultaneousKillsNoInnocentConviction(t *testing.T) {
+	clock, f := newTestFleet(t, Params{Workers: 8, Spares: 0, Pairs: 8, Seed: 14})
+	f.Start()
+	clock.RunFor(900 * simtime.Millisecond)
+
+	killed := map[int]bool{0: true, 2: true, 5: true}
+	for i := range killed {
+		f.KillHost(i)
+	}
+	clock.RunFor(4 * simtime.Second)
+
+	for _, h := range f.Hosts {
+		if killed[h.Index] && h.Alive {
+			t.Fatalf("killed host %s never declared dead", h.Name)
+		}
+		if !killed[h.Index] && !h.Alive {
+			t.Fatalf("innocent host %s convicted by the sweep", h.Name)
+		}
+	}
+}
+
+// TestFleetChainSummaryKeyedRows: the chain summary keys every row by
+// pair ID — one row per pair, every ID present, and a duplicate key is
+// rejected rather than silently shadowing a pair's chain columns.
+func TestFleetChainSummaryKeyedRows(t *testing.T) {
+	clock, f := newTestFleet(t, chainParams(15))
+	f.Start()
+	clock.RunFor(900 * simtime.Millisecond)
+
+	tb, err := f.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != len(f.Pairs) {
+		t.Fatalf("summary rows = %d, want %d", tb.NumRows(), len(f.Pairs))
+	}
+	for _, pr := range f.Pairs {
+		if !tb.HasKey(pr.ID) {
+			t.Fatalf("summary missing pair %s", pr.ID)
+		}
+	}
+	if err := tb.AddKeyedRow(f.Pairs[0].ID, "dup"); err == nil {
+		t.Fatal("duplicate pair key accepted; chain columns could be silently shadowed")
+	}
+}

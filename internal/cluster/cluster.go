@@ -126,6 +126,25 @@ type Params struct {
 	// This is the throughput-bench configuration (bench7); chaos and
 	// failover campaigns need cross-lane scheduling and must keep it off.
 	Isolated bool
+	// Replicas is each protected container's total replica count
+	// including the primary (an f+1 chain tolerating f simultaneous
+	// failures; 2 = the classic pair, the default). Above 2 every
+	// checkpoint fans out over the primary host's one replication NIC —
+	// the wire cost scales with Replicas-1 and the fleet does not hide
+	// it.
+	Replicas int
+	// Quorum is the per-chain release quorum over the backup replicas
+	// (core.Config.CommitQuorum): 0 = strict chain-tail gating (every
+	// unfenced replica must ack before output release; the full
+	// f-failure durability claim), k < Replicas-1 trades durability for
+	// release latency under a straggler.
+	Quorum int
+	// Zones partitions the host pool into failure domains: host i
+	// belongs to zone i mod Zones. Chain placement spreads each chain's
+	// replicas across distinct zones (zone anti-affinity), so losing an
+	// entire zone leaves every chain with survivors in the others.
+	// 0 or 1 disables zone awareness.
+	Zones int
 }
 
 func (p *Params) defaults() {
@@ -156,6 +175,12 @@ func (p *Params) defaults() {
 	if p.ARPDelay == 0 {
 		p.ARPDelay = 28 * simtime.Millisecond
 	}
+	if p.Replicas < 2 {
+		p.Replicas = 2
+	}
+	if p.Zones < 1 {
+		p.Zones = 1
+	}
 }
 
 // Host is one pool member: a simulated machine plus its replication NIC
@@ -163,7 +188,10 @@ func (p *Params) defaults() {
 type Host struct {
 	Index int
 	Name  string
-	H     *container.Host
+	// Zone is the host's failure domain (Index mod Params.Zones); a
+	// zone-kill campaign takes down every host of one zone at once.
+	Zone int
+	H    *container.Host
 	// NIC is the host's one outbound replication link: it carries the
 	// checkpoint streams and DRBD writes of pairs whose primary runs
 	// here, and the acks/NACKs/backup-beats of pairs backed here.
@@ -199,6 +227,12 @@ type Pair struct {
 	PrimaryHost int
 	BackupHost  int
 
+	// ReplicaHosts are the chain's backup replica host indices by chain
+	// slot; ReplicaHosts[0] == BackupHost always (the classic pair
+	// slot). Fenced slots keep their entry so indices stay aligned with
+	// the replicator's chain.
+	ReplicaHosts []int
+
 	State PairState
 	Ctr   *container.Container
 	Repl  *core.Replicator
@@ -222,6 +256,13 @@ type Pair struct {
 	// the workload), so the next replicator must restart it; a fenced
 	// container still runs its original one.
 	keepAliveOnReprotect bool
+
+	// repairSlot is the chain slot currently resynchronizing after a
+	// chain repair (AttachReplica on a running chain); -1 when none.
+	repairSlot int
+	// electedSlot is the chain slot the fleet detector chose to promote
+	// while the pair is FailingOver; -1 outside a chain failover.
+	electedSlot int
 }
 
 // Fleet is the control plane instance.
@@ -257,11 +298,14 @@ type Fleet struct {
 	clients int
 }
 
-// Placement is one pair's host assignment.
+// Placement is one pair's host assignment. Extras lists the hosts of
+// chain replicas beyond the classic backup (slot 2, 3, … of an f+1
+// chain); empty for pairs.
 type Placement struct {
 	Pair    int
 	Primary int
 	Backup  int
+	Extras  []int
 }
 
 // PlacePairs assigns n pairs round-robin over the worker hosts with
@@ -333,6 +377,77 @@ func PlaceCoupled(n, workers, coresPerHost, pagesPerHost int) ([]Placement, erro
 	return out, nil
 }
 
+// PlaceChains assigns n f+1 chains over the worker hosts: primaries
+// round-robin like PlacePairs, and each chain's replicas-1 backups are
+// picked by a ring scan from the primary with zone anti-affinity —
+// hosts in zones the chain does not already occupy are preferred, and
+// only when no such host has capacity does the scan fall back to an
+// already-used zone. Host i belongs to zone i mod zones. With zones=1
+// and replicas=2 the choices reduce exactly to PlacePairs. Pure
+// function, like the other placement engines.
+func PlaceChains(n, workers, zones, replicas, coresPerHost, pagesPerHost int) ([]Placement, error) {
+	if replicas < 2 {
+		replicas = 2
+	}
+	if zones < 1 {
+		zones = 1
+	}
+	if workers < replicas {
+		return nil, fmt.Errorf("cluster: anti-affine chain placement needs >= %d workers for %d replicas, have %d",
+			replicas, replicas, workers)
+	}
+	cores := make([]int, workers)
+	pages := make([]int, workers)
+	out := make([]Placement, 0, n)
+	for p := 0; p < n; p++ {
+		pri := p % workers
+		if cores[pri]+pairCores > coresPerHost {
+			return nil, fmt.Errorf("cluster: host %d out of cores placing chain %d (%d/%d used)",
+				pri, p, cores[pri], coresPerHost)
+		}
+		if pages[pri]+pairPrimaryPgs > pagesPerHost {
+			return nil, fmt.Errorf("cluster: host %d out of pages placing chain %d primary", pri, p)
+		}
+		used := map[int]bool{pri: true}
+		usedZone := map[int]bool{pri % zones: true}
+		backups := make([]int, 0, replicas-1)
+		for s := 0; s < replicas-1; s++ {
+			pick := -1
+			for pass := 0; pass < 2 && pick < 0; pass++ {
+				for o := 1; o <= workers; o++ {
+					c := (pri + o) % workers
+					if used[c] {
+						continue
+					}
+					if pass == 0 && usedZone[c%zones] {
+						continue
+					}
+					if pages[c]+pairBackupPgs > pagesPerHost {
+						continue
+					}
+					pick = c
+					break
+				}
+			}
+			if pick < 0 {
+				return nil, fmt.Errorf("cluster: no host with capacity for chain %d replica %d", p, s+1)
+			}
+			used[pick] = true
+			usedZone[pick%zones] = true
+			pages[pick] += pairBackupPgs
+			backups = append(backups, pick)
+		}
+		cores[pri] += pairCores
+		pages[pri] += pairPrimaryPgs
+		pl := Placement{Pair: p, Primary: pri, Backup: backups[0]}
+		if len(backups) > 1 {
+			pl.Extras = backups[1:]
+		}
+		out = append(out, pl)
+	}
+	return out, nil
+}
+
 // New builds the fleet: hosts, NICs, placements, per-pair volumes, DRBD
 // pairs, workloads, and replicators. Nothing runs until Start.
 func New(clock *simtime.Clock, params Params) (*Fleet, error) {
@@ -364,6 +479,10 @@ func NewSharded(sc *simtime.ShardedClock, params Params) (*Fleet, error) {
 
 func build(clock *simtime.Clock, hostClock func(i int) *simtime.Clock, params Params) (*Fleet, error) {
 	params.defaults()
+	if params.Isolated && (params.Replicas > 2 || params.Zones > 1) {
+		return nil, fmt.Errorf("cluster: isolated (coupled) fleets are pair-only; replicas=%d zones=%d need the chain control plane",
+			params.Replicas, params.Zones)
+	}
 	f := &Fleet{
 		Params:   params,
 		Clock:    clock,
@@ -383,6 +502,7 @@ func build(clock *simtime.Clock, hostClock func(i int) *simtime.Clock, params Pa
 		h := &Host{
 			Index: i,
 			Name:  name,
+			Zone:  i % params.Zones,
 			H:     container.NewHost(name, hc, f.Switch),
 			NIC:   simnet.NewLink(hc, params.ReplLatency, params.ReplBW),
 			Spare: i >= params.Workers,
@@ -393,8 +513,13 @@ func build(clock *simtime.Clock, hostClock func(i int) *simtime.Clock, params Pa
 	}
 
 	place := PlacePairs
-	if params.Isolated {
+	switch {
+	case params.Isolated:
 		place = PlaceCoupled
+	case params.Replicas > 2 || params.Zones > 1:
+		place = func(n, w, c, pg int) ([]Placement, error) {
+			return PlaceChains(n, w, params.Zones, params.Replicas, c, pg)
+		}
 	}
 	placements, err := place(params.Pairs, params.Workers, params.CoresPerHost, params.PagesPerHost)
 	if err != nil {
@@ -436,15 +561,18 @@ func (f *Fleet) buildPair(pl Placement) (*Pair, error) {
 		ID: id, IP: ip, Cores: pairCores, Store: view.DRBDPrimary,
 	})
 	pr := &Pair{
-		Index:       pl.Pair,
-		ID:          id,
-		IP:          ip,
-		PrimaryHost: pl.Primary,
-		BackupHost:  pl.Backup,
-		State:       Protected,
-		Ctr:         ctr,
-		View:        view,
-		Vol:         vol,
+		Index:        pl.Pair,
+		ID:           id,
+		IP:           ip,
+		PrimaryHost:  pl.Primary,
+		BackupHost:   pl.Backup,
+		ReplicaHosts: []int{pl.Backup},
+		State:        Protected,
+		Ctr:          ctr,
+		View:         view,
+		Vol:          vol,
+		repairSlot:   -1,
+		electedSlot:  -1,
 	}
 	if f.Params.Workload != nil {
 		pr.Workload = f.Params.Workload(id)
@@ -453,13 +581,55 @@ func (f *Fleet) buildPair(pl Placement) (*Pair, error) {
 	}
 	pr.Workload.Install(ctr)
 
-	pr.Repl = core.NewReplicator(view, ctr, f.pairConfig(pr, true))
+	// Chain replicas beyond the classic backup: each shares the primary
+	// side — host, replication NIC and transfer scheduler (the fan-out
+	// cost is real and lands on one wire) — and brings its own backup
+	// host, day-one volume clone and DRBD secondary.
+	views := []*core.Cluster{view}
+	for j, ei := range pl.Extras {
+		eh := f.Hosts[ei]
+		bv := vol.Clone(fmt.Sprintf("%s-backup%d", id, j+2))
+		v := &core.Cluster{
+			Clock:       ph.H.Clock,
+			Switch:      f.Switch,
+			Primary:     ph.H,
+			Backup:      eh.H,
+			ReplLink:    ph.NIC,
+			AckLink:     eh.NIC,
+			Xfer:        ph.Xfer,
+			DRBDPrimary: view.DRBDPrimary,
+		}
+		v.DRBDBackup = view.DRBDPrimary.AttachSecondary(bv, ph.NIC)
+		views = append(views, v)
+		pr.ReplicaHosts = append(pr.ReplicaHosts, ei)
+		eh.PagesUsed += pairBackupPgs
+	}
+
+	pr.Repl = core.NewChainReplicator(views, ctr, f.pairConfig(pr, true))
+	if len(views) > 1 {
+		// With several replicas each holding its own staleness view,
+		// per-replica self-promotion would elect everyone; the fleet
+		// detector arbitrates chain promotion (chainPrimaryDied).
+		pr.Repl.SetExternalArbiter(true)
+	}
 	pr.Repl.Timeline = f.Timeline
 
 	ph.CoresUsed += pairCores
 	ph.PagesUsed += pairPrimaryPgs
 	bh.PagesUsed += pairBackupPgs
 	return pr, nil
+}
+
+// liveBackups counts the pair's unfenced chain replicas (the chain's
+// current strength; the protected container is the +1).
+func (f *Fleet) liveBackups(pr *Pair) int {
+	n := 0
+	for i := 0; i < pr.Repl.Replicas(); i++ {
+		if !pr.Repl.ReplicaFenced(i) {
+			n++
+		}
+	}
+	return n
 }
 
 // pairConfig derives a pair's replication config. keepAlive is false
@@ -473,6 +643,8 @@ func (f *Fleet) pairConfig(pr *Pair, keepAlive bool) core.Config {
 	cfg.BackupBeat = true
 	cfg.Lease = f.Params.Lease
 	cfg.Degrade = f.Params.Degrade
+	cfg.Replicas = f.Params.Replicas
+	cfg.CommitQuorum = f.Params.Quorum
 	cfg.Reattach = func(rc core.RestoredContainer, state any) {
 		pr.Workload.Reattach(rc, state)
 	}
@@ -597,7 +769,7 @@ func (f *Fleet) WireBytes() int64 {
 // than silently if two pairs ever shared an ID).
 func (f *Fleet) Summary() (*metrics.Table, error) {
 	tb := metrics.NewTable("Fleet: protected pairs",
-		"Pair", "State", "Pri", "Bak", "Epochs", "Released", "Committed", "Failovers", "Fences", "Reprotects", "Lease")
+		"Pair", "State", "Pri", "Bak", "Replicas", "Quorum", "Epochs", "Released", "Committed", "Failovers", "Fences", "Reprotects", "Lease")
 	for _, pr := range f.Pairs {
 		rel, relOK := pr.Repl.ReleasedEpoch()
 		com, comOK := pr.Repl.Backup.CommittedEpoch()
@@ -610,6 +782,7 @@ func (f *Fleet) Summary() (*metrics.Table, error) {
 		}
 		err := tb.AddKeyedRow(pr.ID, pr.ID, pr.State.String(),
 			f.Hosts[pr.PrimaryHost].Name, f.Hosts[pr.BackupHost].Name,
+			fmt.Sprintf("%d", f.liveBackups(pr)+1), fmt.Sprintf("%d", pr.Repl.Quorum()),
 			fmt.Sprintf("%d", pr.Repl.Epochs()), relS, comS,
 			fmt.Sprintf("%d", pr.Failovers), fmt.Sprintf("%d", pr.Fences),
 			fmt.Sprintf("%d", pr.Reprotects), pr.Repl.LeaseState().String())

@@ -48,29 +48,40 @@ func (f *Fleet) hostEvidence(h *Host, excluded map[int]bool) (evidence, stale in
 		if pr.State != Protected && pr.State != Resyncing {
 			continue
 		}
-		switch h.Index {
-		case pr.PrimaryHost:
-			// Observer: the pair's backup agent. Backups that have not
-			// committed yet self-reset their heartbeat clock (they cannot
-			// tell a dead primary from a long first checkpoint) and so
-			// contribute nothing.
-			if !f.Hosts[pr.BackupHost].Alive || excluded[pr.BackupHost] {
+		if h.Index == pr.PrimaryHost {
+			// Observers: every unfenced chain replica. Replicas that have
+			// not committed yet self-reset their heartbeat clock (they
+			// cannot tell a dead primary from a long first checkpoint) and
+			// so contribute nothing.
+			for i, rh := range pr.ReplicaHosts {
+				if pr.Repl.ReplicaFenced(i) {
+					continue
+				}
+				if !f.Hosts[rh].Alive || excluded[rh] {
+					continue
+				}
+				ag := pr.Repl.ReplicaAgent(i)
+				if _, ok := ag.CommittedEpoch(); !ok {
+					continue
+				}
+				evidence++
+				if now.Sub(ag.LastHeartbeat()) > deadline {
+					stale++
+				}
+			}
+			continue
+		}
+		// Observer: the pair's primary replicator (reverse beats), once
+		// per chain slot hosted on the candidate.
+		for i, rh := range pr.ReplicaHosts {
+			if rh != h.Index || pr.Repl.ReplicaFenced(i) {
 				continue
 			}
-			if _, ok := pr.Repl.Backup.CommittedEpoch(); !ok {
-				continue
-			}
-			evidence++
-			if now.Sub(pr.Repl.Backup.LastHeartbeat()) > deadline {
-				stale++
-			}
-		case pr.BackupHost:
-			// Observer: the pair's primary replicator (reverse beats).
 			if !f.Hosts[pr.PrimaryHost].Alive || excluded[pr.PrimaryHost] {
 				continue
 			}
 			evidence++
-			if now.Sub(pr.Repl.LastBackupBeat()) > deadline {
+			if now.Sub(pr.Repl.LastReplicaBeat(i)) > deadline {
 				stale++
 			}
 		}
@@ -130,11 +141,15 @@ func (f *Fleet) declareHostDead(h *Host) {
 	h.CoresUsed, h.PagesUsed = 0, 0
 	f.eventf("host-dead host=%s", h.Name)
 	for _, pr := range f.Pairs {
-		switch h.Index {
-		case pr.PrimaryHost:
+		if h.Index == pr.PrimaryHost {
 			f.primaryHostDied(pr)
-		case pr.BackupHost:
-			f.backupHostDied(pr)
+			continue
+		}
+		for i, rh := range pr.ReplicaHosts {
+			if rh == h.Index && !pr.Repl.ReplicaFenced(i) {
+				f.replicaHostDied(pr, h.Index)
+				break
+			}
 		}
 	}
 }
@@ -143,6 +158,10 @@ func (f *Fleet) declareHostDead(h *Host) {
 func (f *Fleet) primaryHostDied(pr *Pair) {
 	switch pr.State {
 	case Protected:
+		if pr.Repl.Replicas() > 1 {
+			f.chainPrimaryDied(pr)
+			return
+		}
 		pr.State = FailingOver
 		f.eventf("failover-start pair=%s from=%s to=%s",
 			pr.ID, f.Hosts[pr.PrimaryHost].Name, f.Hosts[pr.BackupHost].Name)
@@ -178,16 +197,96 @@ func (f *Fleet) primaryHostDied(pr *Pair) {
 	}
 }
 
-// backupHostDied handles a pair backed on the dead host: fence the dead
-// backup off the shared machinery and queue the pair for re-protection.
-func (f *Fleet) backupHostDied(pr *Pair) {
+// chainPrimaryDied fails over a multi-replica chain: elect the
+// most-caught-up surviving replica (highest committed epoch, ties to
+// the lowest slot), raise its promotion barrier over every grant any
+// chain member ever sent (the old primary may be holding a lease from
+// any of them), and recover it. The losing replicas are halted — the
+// elected replica's state supersedes theirs the instant recovery
+// commits, and halting them before Recover guarantees at most one
+// serving under the fleet's central arbitration.
+func (f *Fleet) chainPrimaryDied(pr *Pair) {
+	if pr.repairSlot >= 0 {
+		f.removeResync(pr.Index)
+		pr.repairSlot = -1
+	}
+	best, bestEpoch := -1, uint64(0)
+	for i, rh := range pr.ReplicaHosts {
+		if pr.Repl.ReplicaFenced(i) || !f.Hosts[rh].Alive {
+			continue
+		}
+		ag := pr.Repl.ReplicaAgent(i)
+		if ag.Halted() || ag.Recovered() {
+			// Halted: its host died in the same sweep (not yet declared).
+			continue
+		}
+		e, ok := ag.CommittedEpoch()
+		if !ok {
+			continue
+		}
+		if best < 0 || e > bestEpoch {
+			best, bestEpoch = i, e
+		}
+	}
+	if best < 0 {
+		pr.State = Lost
+		f.eventf("pair-lost pair=%s reason=no-replica-survives", pr.ID)
+		return
+	}
+	pr.State = FailingOver
+	pr.electedSlot = best
+	f.eventf("failover-start pair=%s from=%s to=%s slot=%d epoch=%d",
+		pr.ID, f.Hosts[pr.PrimaryHost].Name, f.Hosts[pr.ReplicaHosts[best]].Name, best, bestEpoch)
+	for i, rh := range pr.ReplicaHosts {
+		if i == best || pr.Repl.ReplicaFenced(i) {
+			continue
+		}
+		pr.Repl.ReplicaAgent(i).Halt()
+		if hh := f.Hosts[rh]; hh.Alive {
+			hh.PagesUsed -= pairBackupPgs
+		}
+	}
+	ag := pr.Repl.ReplicaAgent(best)
+	ag.RaiseGrantFloor(pr.Repl.ChainLastGrantSent())
+	ag.Recover()
+	if err := ag.RecoverError(); err != nil {
+		pr.State = Lost
+		f.eventf("pair-lost pair=%s err=%v", pr.ID, err)
+	} else if !ag.Recovered() && !ag.PromotionPending() {
+		pr.State = Lost
+		f.eventf("pair-lost pair=%s reason=elected-replica-cannot-recover", pr.ID)
+	}
+}
+
+// replicaHostDied handles a pair with chain replicas on the dead host:
+// fence every slot hosted there. A chain that keeps at least one
+// unfenced replica stays Protected (the quorum machinery re-gates
+// release on the survivors) and queues for chain repair; losing the
+// last replica degrades the pair onto the classic re-protection path.
+func (f *Fleet) replicaHostDied(pr *Pair, host int) {
 	switch pr.State {
 	case Protected, Resyncing:
 		if pr.State == Resyncing {
 			f.removeResync(pr.Index)
 		}
-		pr.Repl.FenceBackup()
-		pr.Fences++
+		for i, rh := range pr.ReplicaHosts {
+			if rh != host || pr.Repl.ReplicaFenced(i) {
+				continue
+			}
+			pr.Repl.FenceReplica(i)
+			pr.Fences++
+			if pr.repairSlot == i {
+				pr.repairSlot = -1
+				f.removeResync(pr.Index)
+			}
+		}
+		if pr.State == Protected && f.liveBackups(pr) > 0 {
+			// Survivors keep the chain protected; regrow it.
+			f.enqueueReprotect(pr.Index)
+			f.eventf("fence-replica pair=%s primary=%s live=%d",
+				pr.ID, f.Hosts[pr.PrimaryHost].Name, f.liveBackups(pr))
+			return
+		}
 		pr.State = Degraded
 		// The container already runs a keep-alive task (from its original
 		// start or a prior re-protection); the next replicator must not
@@ -196,6 +295,11 @@ func (f *Fleet) backupHostDied(pr *Pair) {
 		f.enqueueReprotect(pr.Index)
 		f.eventf("fence pair=%s primary=%s", pr.ID, f.Hosts[pr.PrimaryHost].Name)
 	case FailingOver:
+		if pr.electedSlot >= 0 && pr.ReplicaHosts[pr.electedSlot] != host {
+			// A losing (already halted) replica's host died mid-restore;
+			// the elected replica is unaffected.
+			return
+		}
 		// The restore target died mid-restore; nothing survives.
 		pr.State = Lost
 		f.eventf("pair-lost pair=%s reason=died-mid-restore", pr.ID)
@@ -211,15 +315,26 @@ func (f *Fleet) pairRecovered(pr *Pair, rc core.RestoredContainer, stats core.Re
 	pr.LastFailover = &stats
 	f.FailoverLatencies.Add(stats.NetworkLiveAt.Sub(stats.DetectedAt).Seconds())
 
+	// Which chain slot won? The fleet's own election records it; a
+	// classic pair's self-promotion is always slot 0. Match the restored
+	// container to be robust against both paths.
+	slot := 0
+	for i := 0; i < pr.Repl.Replicas(); i++ {
+		if ag := pr.Repl.ReplicaAgent(i); ag.Recovered() && ag.RestoredCtr == rc {
+			slot = i
+			break
+		}
+	}
 	// The pair's home moves to the surviving host; its backup reservation
 	// there becomes the primary's (same page count) plus a core.
 	oldPrimary := pr.PrimaryHost
-	pr.PrimaryHost = pr.BackupHost
+	pr.PrimaryHost = pr.ReplicaHosts[slot]
 	nh := f.Hosts[pr.PrimaryHost]
 	nh.CoresUsed += pairCores
-	// The authoritative volume is now the promoted backup end.
-	pr.Vol = pr.View.DRBDBackup.Local
+	// The authoritative volume is now the promoted replica's end.
+	pr.Vol = pr.Repl.ReplicaView(slot).DRBDBackup.Local
 	pr.State = Degraded
+	pr.electedSlot = -1
 	// The restore rebuilt the process tree without a keep-alive task;
 	// the re-protection replicator must start one.
 	pr.keepAliveOnReprotect = true
@@ -241,8 +356,7 @@ func (f *Fleet) KillHost(i int) {
 	h.killed = true
 	h.NIC.SetDown(true)
 	for _, pr := range f.Pairs {
-		switch i {
-		case pr.PrimaryHost:
+		if i == pr.PrimaryHost {
 			// Mirror faultinject.HardKill: the veth detaches (buffered
 			// output can never escape), execution stops, and the epoch
 			// engine quiesces so a dead host schedules no new checkpoints.
@@ -251,9 +365,24 @@ func (f *Fleet) KillHost(i int) {
 				pr.Ctr.Stop()
 			}
 			pr.Repl.Quiesce()
-		case pr.BackupHost:
-			pr.Repl.Backup.Halt()
+			continue
+		}
+		for s, rh := range pr.ReplicaHosts {
+			if rh == i {
+				pr.Repl.ReplicaAgent(s).Halt()
+			}
 		}
 	}
 	f.eventf("kill-host host=%s", h.Name)
+}
+
+// KillZone injects a simultaneous power loss of every not-yet-killed
+// host in one failure domain (zone-kill campaigns). With zone-anti-
+// affine chain placement no chain loses more than one replica to it.
+func (f *Fleet) KillZone(z int) {
+	for _, h := range f.Hosts {
+		if h.Zone == z && !h.killed {
+			f.KillHost(h.Index)
+		}
+	}
 }

@@ -77,6 +77,10 @@ type BackupAgent struct {
 	cfg Config
 	r   *Replicator
 
+	// slot is this agent's index in the replicator's chain (chain.go);
+	// 0 is the classic pair backup.
+	slot int
+
 	store criu.PageStore
 
 	fsPages  map[fsPageKey]simfs.PageEntry
@@ -179,6 +183,10 @@ func (b *BackupAgent) stop() {
 // stops and every handler becomes inert. Unlike stop (measurement
 // teardown), a halted agent stays halted — it can never acknowledge,
 // NACK, or recover.
+// Halted reports whether this agent has been halted (its host died or
+// the control plane stood it down).
+func (b *BackupAgent) Halted() bool { return b.halted }
+
 func (b *BackupAgent) Halt() {
 	b.halted = true
 	b.promotePending = false
@@ -225,13 +233,14 @@ func (b *BackupAgent) checkHeartbeat() {
 		// dead (an unbounded grant stream to a dead primary would push
 		// the promotion barrier out forever).
 		r := b.r
-		grant := b.cfg.Lease.Enabled && !stale
+		grant := b.cfg.Lease.Enabled && !stale && b.grantsLease()
 		if grant {
 			b.lastGrantSent = now
 		}
 		sentAt := now
+		slot := b.slot
 		b.cl.AckLink.TransferExpress(16, func() {
-			r.backupBeatSeen()
+			r.backupBeatSeenFrom(slot)
 			if grant {
 				r.leaseGranted(sentAt)
 			}
@@ -249,7 +258,19 @@ func (b *BackupAgent) checkHeartbeat() {
 		b.resendLogAck()
 	}
 	if stale {
-		b.Recover()
+		switch {
+		case b.r.witness != nil:
+			// Quorum mode: never self-promote — bid, and let the witness
+			// (which may still hear the primary) arbitrate.
+			b.sendCandidacy()
+		case b.r.externalArbiter:
+			// A control plane (the fleet detector) arbitrates promotion
+			// for this chain: with several replicas each holding their own
+			// staleness view, per-replica self-promotion would elect
+			// everyone. The arbiter picks one slot and calls Recover on it.
+		default:
+			b.Recover()
+		}
 	}
 }
 
@@ -315,16 +336,19 @@ func (b *BackupAgent) tryAck(epoch uint64) {
 	}
 	r := b.r
 	// Every ack implicitly renews the primary's output-release lease,
-	// stamped with its send time (the conservative end of the term).
+	// stamped with its send time (the conservative end of the term) —
+	// unless a witness centralizes granting (quorum mode).
 	sentAt := b.cl.Clock.Now()
-	if b.cfg.Lease.Enabled {
+	grant := b.cfg.Lease.Enabled && b.grantsLease()
+	if grant {
 		b.lastGrantSent = sentAt
 	}
+	slot := b.slot
 	b.cl.AckLink.Transfer(16, func() {
-		if b.cfg.Lease.Enabled {
+		if grant {
 			r.leaseGranted(sentAt)
 		}
-		r.ackReceived(epoch)
+		r.ackReceivedFrom(slot, epoch)
 	})
 	if baseline {
 		b.resyncRequested = false

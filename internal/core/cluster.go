@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"nilicon/internal/container"
 	"nilicon/internal/simdisk"
 	"nilicon/internal/simnet"
@@ -95,6 +97,68 @@ func newCluster(root, pclk, bclk *simtime.Clock, params ClusterParams) *Cluster 
 	cl.Xfer = NewTransferScheduler(pclk, cl.ReplLink)
 	cl.DRBDPrimary, cl.DRBDBackup = simdisk.NewDRBDPair(cl.Primary.Disk, cl.Backup.Disk, cl.ReplLink)
 	return cl
+}
+
+// NewChainViews builds the topology for an f+1 replication chain
+// (DESIGN.md §15): one primary host and replicas-1 backup hosts, each
+// backup joined to the primary by its own dedicated replication/ack
+// link pair and its own DRBD secondary over the primary's volume.
+// views[0] is a classic pair cluster; each further view shares the
+// primary side (clock, switch, primary host, DRBD primary end) and
+// carries its own backup host, links, transfer scheduler and DRBD
+// secondary. Pass the slice to NewChainReplicator.
+func NewChainViews(clock *simtime.Clock, params ClusterParams, replicas int) []*Cluster {
+	if replicas < 2 {
+		replicas = 2
+	}
+	clks := make([]*simtime.Clock, replicas-1) // one per backup
+	for i := range clks {
+		clks[i] = clock
+	}
+	return newChainViews(clock, clock, clks, params, replicas)
+}
+
+// NewShardedChainViews is NewChainViews on a sharded engine: the
+// primary and every backup host get their own shard, and each view's
+// links are the cross-shard edges bounding the conservative lookahead.
+func NewShardedChainViews(sc *simtime.ShardedClock, params ClusterParams, replicas int) []*Cluster {
+	if replicas < 2 {
+		replicas = 2
+	}
+	pclk := sc.NewShard()
+	clks := make([]*simtime.Clock, replicas-1)
+	for i := range clks {
+		clks[i] = sc.NewShard()
+	}
+	return newChainViews(sc.Root(), pclk, clks, params, replicas)
+}
+
+func newChainViews(root, pclk *simtime.Clock, bclks []*simtime.Clock, params ClusterParams, replicas int) []*Cluster {
+	params.defaults()
+	base := newCluster(root, pclk, bclks[0], params)
+	views := []*Cluster{base}
+	for i := 1; i < replicas-1; i++ {
+		bclk := bclks[i]
+		repl := simnet.NewLink(pclk, params.ReplLatency, params.ReplBW)
+		ack := simnet.NewLink(bclk, params.ReplLatency, params.ReplBW)
+		if pclk != bclk {
+			repl.BindRemote(bclk)
+			ack.BindRemote(pclk)
+		}
+		v := &Cluster{
+			Clock:       pclk,
+			Switch:      base.Switch,
+			Primary:     base.Primary,
+			Backup:      container.NewHost(fmt.Sprintf("backup%d", i+1), bclk, base.Switch),
+			ReplLink:    repl,
+			AckLink:     ack,
+			DRBDPrimary: base.DRBDPrimary,
+		}
+		v.Xfer = NewTransferScheduler(pclk, repl)
+		v.DRBDBackup = base.DRBDPrimary.AttachSecondary(v.Backup.Disk, repl)
+		views = append(views, v)
+	}
+	return views
 }
 
 // NewProtectedContainer creates a container on the primary host whose

@@ -324,9 +324,11 @@ func (r *Replicator) declareUnprotected() {
 	r.hasParkedDirect = false
 	r.Ctr.Qdisc.SetReplicating(false)
 	_ = r.Cluster.DRBDPrimary.Detach()
-	r.Cluster.Xfer.CancelFlow(r.Ctr.ID)
-	r.Cluster.Xfer.CancelFlow(r.Ctr.ID + "/resync")
-	r.Cluster.Xfer.CancelFlow(r.Ctr.ID + "/log")
+	for _, s := range r.chain {
+		s.view.Xfer.CancelFlow(r.flowFor(s.idx))
+		s.view.Xfer.CancelFlow(r.flowFor(s.idx) + "/resync")
+		s.view.Xfer.CancelFlow(r.flowFor(s.idx) + "/log")
+	}
 }
 
 // supersededSeen handles the promoted backup's supersede notice on the
@@ -408,6 +410,7 @@ func (b *BackupAgent) promoteBarrierReached() {
 		b.doRecover()
 		return
 	}
+	b.notifyWitnessAbort()
 	b.resumeAfterAbortedPromotion()
 }
 

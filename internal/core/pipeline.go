@@ -203,23 +203,39 @@ func (run *epochRun) freezeCollect() {
 			snapBytes -= xferChunkBytes
 		}
 		chunks = append(chunks, snapBytes)
-		cl.Xfer.SubmitReq(r.Ctr.ID, chunks, func() {
-			// A snapshot still in flight when failover promotes the
-			// backup is dead weight; never apply it to a promoted disk.
-			if r.stopped || r.Backup.recovered {
-				return
+		// Every chain replica receives the snapshot on its own resync
+		// flow: a resync is chain-global (it is the repair path for any
+		// replica's loss, and the delta encoder's base gate is the chain
+		// minimum, so all replicas must share the baseline). The snapshot
+		// itself is immutable and safely shared; the chunk slice is
+		// per-flow state and copied.
+		for _, s := range r.chain {
+			if s.fenced || s.agent.recovered || s.agent.halted {
+				continue
 			}
-			if err := cl.DRBDBackup.ApplyResync(snap, epoch); err != nil {
-				panic(err)
+			s := s
+			ch := chunks
+			if s.idx != 0 {
+				ch = append([]int64(nil), chunks...)
 			}
-		}, func() {
-			// Snapshot lost to another outage: this resync will never be
-			// acknowledged; arm a fresh one.
-			r.resyncPendingB = false
-			if !r.stopped {
-				r.resyncArmed = true
-			}
-		})
+			s.view.Xfer.SubmitReq(r.flowFor(s.idx), ch, func() {
+				// A snapshot still in flight when failover promotes the
+				// backup is dead weight; never apply it to a promoted disk.
+				if r.stopped || s.agent.recovered {
+					return
+				}
+				if err := s.view.DRBDBackup.ApplyResync(snap, epoch); err != nil {
+					panic(err)
+				}
+			}, func() {
+				// Snapshot lost to another outage: this resync will never be
+				// acknowledged; arm a fresh one.
+				r.resyncPendingB = false
+				if !r.stopped {
+					r.resyncArmed = true
+				}
+			})
+		}
 	}
 
 	r.LastStats = stats
@@ -271,6 +287,25 @@ func (run *epochRun) transfer() {
 	doSubmit := func(start simtime.Time) {
 		b := r.Backup
 		epoch, img := run.epoch, run.img
+		// Chain fan-out: every further replica gets its own deep copy of
+		// the image on its own flow. The copy is mandatory, not an
+		// optimization — page buffers are pool-recycled when a backup
+		// commits, so two backups must never share frame storage. Slot 0
+		// keeps the original image and the legacy flow name, and alone
+		// drives the pipeline's StageTransfer completion; replica drops
+		// arm the same full-resync repair without touching the run.
+		for _, s := range r.chain[1:] {
+			if s.fenced || s.agent.recovered || s.agent.halted {
+				continue
+			}
+			s := s
+			img2 := img.Clone()
+			s.view.Xfer.SubmitReq(r.flowFor(s.idx), img2.StreamChunks(xferChunkBytes), func() {
+				s.agent.receiveState(epoch, img2)
+			}, func() {
+				r.replicaTransferDropped(epoch)
+			})
+		}
 		cl.Xfer.SubmitReq(r.Ctr.ID, img.StreamChunks(xferChunkBytes), func() {
 			b.receiveState(epoch, img)
 			now := cl.Clock.Now()
@@ -315,6 +350,21 @@ func (run *epochRun) transfer() {
 	}
 }
 
+// replicaTransferDropped handles a chain replica's image loss: the same
+// NACK-free repair as a slot-0 drop — arm a full resync at the next
+// checkpoint (chain-global: every replica receives the baseline) —
+// without touching the pipeline run, whose transfer stage is driven by
+// slot 0 alone.
+func (r *Replicator) replicaTransferDropped(epoch uint64) {
+	if r.stopped {
+		return
+	}
+	r.resyncArmed = true
+	if r.resyncPendingB && epoch == r.resyncPending {
+		r.resyncPendingB = false
+	}
+}
+
 // awaitAck has no work of its own: it completes when the backup's
 // acknowledgment arrives (Replicator.ackReceived). If the backup fails
 // or the link goes down, the stage never completes and the epoch's
@@ -330,8 +380,8 @@ func (run *epochRun) awaitAck() {}
 // a grant returns.
 func (run *epochRun) releaseOutput() {
 	r := run.r
-	if c, ok := r.Backup.CommittedEpoch(); !ok || c < run.epoch {
-		panic(fmt.Sprintf("core: output-commit violation: releasing epoch %d before backup commit", run.epoch))
+	if c, ok := r.chainCommittedWatermark(); !ok || c < run.epoch {
+		panic(fmt.Sprintf("core: output-commit violation: releasing epoch %d before quorum commit", run.epoch))
 	}
 	if !r.releaseAuthorized() {
 		r.parked = append(r.parked, run)
@@ -410,6 +460,8 @@ func (run *epochRun) record() {
 			ZeroFrames:  run.frames.ZeroFrames,
 			DedupFrames: run.frames.DedupFrames,
 			Lease:       r.leaseState.String(),
+			Replicas:    r.unfencedCount() + 1,
+			Quorum:      r.Quorum(),
 		})
 	}
 }

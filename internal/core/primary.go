@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"nilicon/internal/container"
 	"nilicon/internal/criu"
 	"nilicon/internal/metrics"
@@ -19,6 +17,18 @@ type Replicator struct {
 	Cluster *Cluster
 	Ctr     *container.Container
 	Backup  *BackupAgent
+
+	// chain holds the f+1 replica slots (chain.go); chain[0] wraps
+	// Backup and the primary Cluster view, so the classic pair is the
+	// one-slot chain. witness is the quorum-promotion arbiter
+	// (witness.go; nil outside quorum mode).
+	chain   []*replicaSlot
+	witness *Witness
+	// externalArbiter suppresses per-replica self-promotion: an outside
+	// control plane (the fleet detector) convicts the primary host and
+	// picks exactly one slot to Recover. Without it each replica of a
+	// multi-slot chain would self-promote on its own staleness view.
+	externalArbiter bool
 
 	engine *criu.Engine
 	epoch  uint64
@@ -163,6 +173,7 @@ func NewReplicator(cl *Cluster, ctr *container.Container, cfg Config) *Replicato
 		r.rec = newRecorder(r)
 	}
 	r.Backup = newBackupAgent(cl, cfg, r)
+	r.chain = []*replicaSlot{{view: cl, agent: r.Backup}}
 	return r
 }
 
@@ -194,8 +205,17 @@ func (r *Replicator) Start() {
 	r.hbTicker = simtime.NewTicker(r.Cluster.Clock, r.Cfg.HeartbeatInterval, r.heartbeat)
 	r.lastCPU = r.Ctr.Cgroup.CPUUsage()
 	r.lastBackupBeat = r.Cluster.Clock.Now()
+	for _, s := range r.chain {
+		s.lastBeat = r.lastBackupBeat
+	}
 	r.startLease()
 	r.Backup.start()
+	for _, s := range r.chain[1:] {
+		s.agent.start()
+	}
+	if r.witness != nil {
+		r.witness.start()
+	}
 
 	r.epochEvent = r.Cluster.Clock.Schedule(r.Cfg.EpochInterval, r.runEpoch)
 }
@@ -219,6 +239,12 @@ func (r *Replicator) Stop() {
 		r.rec.uninstall()
 	}
 	r.Backup.stop()
+	for _, s := range r.chain[1:] {
+		s.agent.stop()
+	}
+	if r.witness != nil {
+		r.witness.stop()
+	}
 	r.Ctr.Qdisc.SetReplicating(false)
 	r.engine.Close()
 }
@@ -240,10 +266,19 @@ func (r *Replicator) heartbeat() {
 	if !progressed && !r.Ctr.Frozen() {
 		return
 	}
-	b := r.Backup
 	// Heartbeats are individual packets; they interleave with any bulk
-	// state transfer in progress rather than queueing behind it.
-	r.Cluster.ReplLink.TransferExpress(16, func() { b.heartbeatArrived() })
+	// state transfer in progress rather than queueing behind it. Each
+	// chain replica is beaten over its own replication link.
+	for _, s := range r.chain {
+		if s.fenced {
+			continue
+		}
+		ag := s.agent
+		s.view.ReplLink.TransferExpress(16, func() { ag.heartbeatArrived() })
+	}
+	if r.witness != nil {
+		r.witness.primaryKeepAlive()
+	}
 }
 
 // runEpoch fires at an epoch boundary. It is a thin driver: it creates
@@ -265,66 +300,14 @@ func (r *Replicator) runEpoch() {
 	run.advance()
 }
 
-// ackReceived is called when the backup's acknowledgment of epoch e
-// arrives on the ack link. Acks are cumulative: the backup commits in
-// epoch order, so an ack for e vouches for every epoch <= e — this is
-// what lets a single post-resync ack retire the pipeline runs of all
-// the epochs that were lost on the link (their own acks never existed).
-func (r *Replicator) ackReceived(e uint64) {
-	if r.stopped {
-		return
-	}
-	if !r.hasAcked || e > r.ackedThrough {
-		r.ackedThrough = e
-		r.hasAcked = true
-	}
-	if r.resyncPendingB && e >= r.resyncPending {
-		r.resyncPendingB = false
-	}
-	if r.rec != nil {
-		// A committed checkpoint implicitly commits every log segment
-		// sealed before its freeze (replay.go).
-		r.rec.epochAcked(e)
-	}
-	var covered []uint64
-	for ep := range r.inflight {
-		if ep <= e {
-			covered = append(covered, ep)
-		}
-	}
-	if len(covered) == 0 {
-		// No pipeline record (replication restarted across a failover);
-		// the backup only acknowledges committed epochs, so releasing
-		// directly preserves the output-commit rule — unless a lapsed
-		// lease has fenced the release path, in which case the
-		// watermark parks until a grant returns.
-		if !r.releaseAuthorized() {
-			if !r.hasParkedDirect || e > r.parkedDirect {
-				r.parkedDirect = e
-				r.hasParkedDirect = true
-			}
-			return
-		}
-		r.releaseDirect(e)
-		return
-	}
-	sort.Slice(covered, func(i, j int) bool { return covered[i] < covered[j] })
-	now := r.Cluster.Clock.Now()
-	for _, ep := range covered {
-		run := r.inflight[ep]
-		delete(r.inflight, ep)
-		if run.done[StageTransfer] {
-			run.complete(StageAwaitAck, now, now.Sub(run.doneAt[StageTransfer]))
-		} else {
-			// The epoch's own transfer was lost; it is covered by a later
-			// resync image. Retire the run without pretending it measured
-			// anything.
-			run.lossy = true
-			run.complete(StageTransfer, now, 0)
-			run.complete(StageAwaitAck, now, 0)
-		}
-	}
-}
+// ackReceived records an acknowledgment of epoch e from the first
+// (slot 0) backup. Acks are cumulative: the backup commits in epoch
+// order, so an ack for e vouches for every epoch <= e — this is what
+// lets a single post-resync ack retire the pipeline runs of all the
+// epochs that were lost on the link (their own acks never existed).
+// The chain layer (chain.go) generalizes this to per-replica
+// watermarks; ackReceivedFrom is the per-slot entry point.
+func (r *Replicator) ackReceived(e uint64) { r.ackReceivedFrom(0, e) }
 
 // nackReceived is called when the backup reports an out-of-order epoch
 // (it missed one or more images to a link outage): arm a full
@@ -427,8 +410,9 @@ func (r *Replicator) DedupHitRate() float64 {
 // shares the replication NIC.
 func (r *Replicator) AckedThrough() (uint64, bool) { return r.ackedThrough, r.hasAcked }
 
-// backupBeatSeen records the arrival of a reverse liveness beat.
-func (r *Replicator) backupBeatSeen() { r.lastBackupBeat = r.Cluster.Clock.Now() }
+// backupBeatSeen records the arrival of slot 0's reverse liveness beat
+// (chain slots route through backupBeatSeenFrom in chain.go).
+func (r *Replicator) backupBeatSeen() { r.backupBeatSeenFrom(0) }
 
 // LastBackupBeat returns when the backup's most recent reverse beat
 // arrived (only meaningful with Config.BackupBeat).
@@ -437,26 +421,33 @@ func (r *Replicator) LastBackupBeat() simtime.Time { return r.lastBackupBeat }
 // Fenced reports whether FenceBackup has run.
 func (r *Replicator) Fenced() bool { return r.fenced }
 
-// FenceBackup cuts a dead backup off from a healthy primary: replication
-// stops, buffered output is flushed (the primary is the authoritative
-// survivor — nothing it produced depends on the lost backup), the DRBD
-// primary end detaches so disk writes stay local, and any of the pair's
-// queued transfer traffic is cancelled so it cannot occupy the shared
-// replication NIC. The container keeps running unprotected; the fleet
-// control plane re-protects it onto a new backup host via ReprotectOnto.
+// FenceBackup cuts every dead backup off from a healthy primary:
+// replication stops, buffered output is flushed (the primary is the
+// authoritative survivor — nothing it produced depends on the lost
+// backups), the DRBD primary end detaches so disk writes stay local,
+// and all queued transfer traffic is cancelled so it cannot occupy the
+// shared replication NIC. The container keeps running unprotected; the
+// fleet control plane re-protects it via ReprotectOnto. To fence a
+// subset of a chain while the survivors keep it protected, use
+// FenceReplica (chain.go).
 func (r *Replicator) FenceBackup() {
 	if r.fenced {
 		return
 	}
 	r.fenced = true
 	r.Stop()
-	r.Backup.Halt()
+	for _, s := range r.chain {
+		s.fenced = true
+		s.agent.Halt()
+	}
 	_ = r.Cluster.DRBDPrimary.Detach()
-	r.Cluster.Xfer.CancelFlow(r.Ctr.ID)
-	r.Cluster.Xfer.CancelFlow(r.Ctr.ID + "/resync")
-	r.Cluster.Xfer.CancelFlow(r.Ctr.ID + "/log")
+	for _, s := range r.chain {
+		s.view.Xfer.CancelFlow(r.flowFor(s.idx))
+		s.view.Xfer.CancelFlow(r.flowFor(s.idx) + "/resync")
+		s.view.Xfer.CancelFlow(r.flowFor(s.idx) + "/log")
+	}
 	if r.Cfg.Lease.Enabled {
-		// Control-plane-sanctioned unprotected operation: the backup is
+		// Control-plane-sanctioned unprotected operation: the backups are
 		// verifiably dead, so releasing without a lease is safe.
 		r.setLeaseState(LeaseUnprotected)
 	}

@@ -220,67 +220,61 @@ func (rec *recorder) epochBoundary(epoch uint64) uint64 {
 	return rec.sealedThrough
 }
 
-// submit streams one segment on the pair's log flow. The flow shares the
-// TransferScheduler's round-robin with the pair's page traffic, so a
-// tiny segment is never stuck behind a full resynchronization.
+// submit streams one segment on each chain replica's log flow. The
+// flows share each view's TransferScheduler round-robin with the page
+// traffic, so a tiny segment is never stuck behind a full
+// resynchronization. The segment object is shared read-only across
+// slots; only one replica ever replays a given log generation.
 func (rec *recorder) submit(seg *criu.LogSegment) {
+	for _, s := range rec.r.chain {
+		if s.fenced || s.agent.recovered || s.agent.halted {
+			continue
+		}
+		rec.submitTo(s, seg)
+	}
+}
+
+func (rec *recorder) submitTo(s *replicaSlot, seg *criu.LogSegment) {
 	r := rec.r
-	b := r.Backup
-	r.Cluster.Xfer.SubmitReq(r.Ctr.ID+"/log", []int64{seg.WireBytes()}, func() {
-		b.receiveLogSegment(seg)
+	ag := s.agent
+	s.view.Xfer.SubmitReq(r.flowFor(s.idx)+"/log", []int64{seg.WireBytes()}, func() {
+		ag.receiveLogSegment(seg)
 	}, func() {
-		rec.scheduleRetransmit(seg)
+		rec.scheduleRetransmitTo(s, seg)
 	})
 }
 
-// scheduleRetransmit re-streams a segment lost to a link cut after a
-// deterministic delay, unless it was retired meanwhile (acked directly,
-// or implicitly by a checkpoint commit) or the pair's replication ended.
-func (rec *recorder) scheduleRetransmit(seg *criu.LogSegment) {
+// scheduleRetransmitTo re-streams a segment lost to a link cut after a
+// deterministic delay, unless that replica retired it meanwhile (acked
+// directly, or implicitly by a checkpoint commit) or stopped being a
+// valid destination.
+func (rec *recorder) scheduleRetransmitTo(s *replicaSlot, seg *criu.LogSegment) {
 	r := rec.r
 	r.Cluster.Clock.Schedule(logRetransmitDelay, func() {
-		if r.stopped || seg.Seq <= rec.acked ||
+		if r.stopped || seg.Seq <= s.logAcked || s.fenced ||
 			r.leaseState == LeaseUnprotected || r.leaseState == LeaseSuperseded ||
-			r.Backup.recovered || r.Backup.halted {
+			s.agent.recovered || s.agent.halted {
 			return
 		}
-		rec.submit(seg)
+		rec.submitTo(s, seg)
 	})
 }
 
-// logAcked handles the backup's cumulative log acknowledgment on the
-// primary: retire retained segments and release the egress buffered
-// through seq — unless a lapsed lease has fenced the release path, in
-// which case the watermark parks until a grant returns (lease.go).
+// logAcked is the implicit-commit entry point: a checkpoint acked by
+// every participating replica commits every segment sealed before its
+// freeze, so ALL replicas' log watermarks advance at once (each of them
+// committed the checkpoint — that is what the minimum epoch watermark
+// certifies). Per-replica wire acks go through logAckedFrom instead.
 func (r *Replicator) logAcked(seq uint64) {
-	rec := r.rec
-	if rec == nil || r.stopped {
+	if r.rec == nil || r.stopped {
 		return
 	}
-	if seq <= rec.acked {
-		return
-	}
-	rec.acked = seq
-	now := r.Cluster.Clock.Now()
-	for s := range rec.unacked {
-		if s <= seq {
-			delete(rec.unacked, s)
+	for _, s := range r.chain {
+		if !s.fenced && seq > s.logAcked {
+			s.logAcked = seq
 		}
 	}
-	for s, at := range rec.sealTime {
-		if s <= seq {
-			r.LogCommitLatency.Add(now.Sub(at).Seconds())
-			delete(rec.sealTime, s)
-		}
-	}
-	if !r.releaseAuthorized() {
-		if !rec.hasParked || seq > rec.parked {
-			rec.parked = seq
-			rec.hasParked = true
-		}
-		return
-	}
-	rec.releaseThrough(seq)
+	r.logRecompute()
 }
 
 // releaseThrough flushes the buffered egress of every segment <= seq.
@@ -371,14 +365,16 @@ func (b *BackupAgent) resendLogAck() {
 func (b *BackupAgent) sendLogAck(seq uint64) {
 	r := b.r
 	sentAt := b.cl.Clock.Now()
-	if b.cfg.Lease.Enabled {
+	grant := b.cfg.Lease.Enabled && b.grantsLease()
+	if grant {
 		b.lastGrantSent = sentAt
 	}
+	slot := b.slot
 	b.cl.AckLink.Transfer(16, func() {
-		if b.cfg.Lease.Enabled {
+		if grant {
 			r.leaseGranted(sentAt)
 		}
-		r.logAcked(seq)
+		r.logAckedFrom(slot, seq)
 	})
 }
 

@@ -98,6 +98,61 @@ type Image struct {
 	LogSeqThrough uint64
 }
 
+// Clone returns a copy of the image that is safe to deliver to an
+// additional replica in a fan-out chain. Every page-content buffer —
+// verbatim dirty pages, full-frame payloads, XOR patches, fs-cache
+// pages — is deep-copied: the originals are co-owned by the first
+// replica's page store and by the primary's recycled staging buffers,
+// and a restore on one replica must never alias another replica's
+// committed state. Structured snapshots (threads, VMAs, sockets,
+// infrequent state) and AppState are shared read-only; at most one
+// replica of a generation ever restores them.
+func (img *Image) Clone() *Image {
+	cp := *img
+	cp.Procs = make([]ProcessImage, len(img.Procs))
+	for i := range img.Procs {
+		p := img.Procs[i]
+		if len(p.Pages) > 0 {
+			pages := make([]PageImage, len(p.Pages))
+			for j, pg := range p.Pages {
+				d := make([]byte, len(pg.Data))
+				copy(d, pg.Data)
+				pages[j] = PageImage{PN: pg.PN, Data: d}
+			}
+			p.Pages = pages
+		}
+		if len(p.Frames) > 0 {
+			frames := make([]PageFrame, len(p.Frames))
+			for j, f := range p.Frames {
+				if f.Data != nil {
+					d := make([]byte, len(f.Data))
+					copy(d, f.Data)
+					f.Data = d
+				}
+				if f.Delta != nil {
+					d := make([]byte, len(f.Delta))
+					copy(d, f.Delta)
+					f.Delta = d
+				}
+				frames[j] = f
+			}
+			p.Frames = frames
+		}
+		cp.Procs[i] = p
+	}
+	if len(img.FSCache.Pages) > 0 {
+		pages := make([]simfs.PageEntry, len(img.FSCache.Pages))
+		for j, pe := range img.FSCache.Pages {
+			d := make([]byte, len(pe.Data))
+			copy(d, pe.Data)
+			pe.Data = d
+			pages[j] = pe
+		}
+		cp.FSCache.Pages = pages
+	}
+	return &cp
+}
+
 // DirtyPages returns the number of memory pages in the image.
 func (img *Image) DirtyPages() int {
 	n := 0

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"nilicon/internal/cluster"
+	"nilicon/internal/metrics"
+	"nilicon/internal/simtime"
+)
+
+// BENCH_9: the f+1 replication ladder. Each row runs the same pool —
+// 4 chains over 8 workers + 4 spares — at a chain width of 2, 3 or 4
+// replicas, zone-anti-affine over as many zones, and injects either a
+// single host kill or a whole-zone kill. The columns make the chain's
+// two costs and its one benefit concrete:
+//
+//   - wire_bytes_per_pair: the primary fans every checkpoint out to
+//     replicas-1 backups over its ONE replication NIC, so the wire
+//     cost scales almost linearly with chain width. That is the honest
+//     price of f>1 — the paper's pair pays it once.
+//   - commit percentiles: release waits for the chain tail (strict
+//     quorum), so the slowest replica's ack sets the floor.
+//   - failover latency: unchanged by width — detection dominates, and
+//     the fleet elects the most-caught-up survivor in one step.
+
+// Bench9Row is one (replicas, kill-kind) entry of the ladder.
+type Bench9Row struct {
+	Scenario string `json:"scenario"`
+	Replicas int    `json:"replicas"`
+	Zones    int    `json:"zones"`
+	// Kill describes the injected failure: "host-kill" downs one worker,
+	// "zone-kill" downs every host of one failure domain in one instant.
+	Kill string `json:"kill"`
+	// KilledHosts is how many hosts the injection took down.
+	KilledHosts int    `json:"killed_hosts"`
+	Epochs      uint64 `json:"epochs"`
+	// Commit percentiles (output-commit latency, ms): gated on the
+	// chain-tail ack, so they rise with the fan-out.
+	EpochP50Ms float64 `json:"epoch_p50_ms"`
+	EpochP99Ms float64 `json:"epoch_p99_ms"`
+	// WireBytesPerPair is the mean bytes each chain put on its primary's
+	// replication NIC — the fan-out cost, ~(replicas-1)x the pair's.
+	WireBytesPerPair float64 `json:"wire_bytes_per_pair"`
+	Failovers        int     `json:"failovers"`
+	FailoverMeanMs   float64 `json:"failover_mean_ms"`
+	FailoverMaxMs    float64 `json:"failover_max_ms"`
+	// Fences is how many chain slots were fenced fleet-wide (replica
+	// hosts lost to the kill, plus repair probes into dead spares).
+	Fences int `json:"fences"`
+}
+
+// Bench9Report is the committed BENCH_9.json document.
+type Bench9Report struct {
+	Benchmark string      `json:"benchmark"`
+	Seed      int64       `json:"seed"`
+	Rows      []Bench9Row `json:"rows"`
+}
+
+type bench9Shape struct {
+	name     string
+	replicas int
+	zoneKill bool
+}
+
+func bench9Shapes() []bench9Shape {
+	return []bench9Shape{
+		{"pair/host-kill", 2, false},
+		{"pair/zone-kill", 2, true},
+		{"chain3/host-kill", 3, false},
+		{"chain3/zone-kill", 3, true},
+		{"chain4/host-kill", 4, false},
+		{"chain4/zone-kill", 4, true},
+	}
+}
+
+// RunBench9 measures the replication ladder. Rows run on the harness
+// worker pool (Jobs); each seeded run is single-threaded and rows are
+// collected in order, so the report is byte-identical for any jobs
+// value.
+func RunBench9(seed int64) Bench9Report {
+	shapes := bench9Shapes()
+	rows := make([]Bench9Row, len(shapes))
+	runIndexed(len(shapes), Jobs,
+		func(i int) {
+			rows[i] = bench9Row(shapes[i], seed)
+		},
+		func(i int) { progressf("bench9: %s", shapes[i].name) })
+	return Bench9Report{Benchmark: "replication-ladder", Seed: seed, Rows: rows}
+}
+
+func bench9Row(sc bench9Shape, seed int64) Bench9Row {
+	const (
+		workers = 8
+		spares  = 4
+		pairs   = 4
+	)
+	zones := sc.replicas
+	clock := simtime.NewClock()
+	f, err := cluster.New(clock, cluster.Params{
+		Workers:  workers,
+		Spares:   spares,
+		Pairs:    pairs,
+		Replicas: sc.replicas,
+		Zones:    zones,
+		Seed:     seed,
+		// Zone kills displace several chains at once; strictly serial
+		// re-protection would leave the pool degraded for the whole tail.
+		MaxConcurrentResyncs: 2,
+	})
+	if err != nil {
+		panic("bench9: " + err.Error())
+	}
+	f.Start()
+	clock.RunFor(900 * simtime.Millisecond)
+	killed := 0
+	if sc.zoneKill {
+		// Zone 0 contains host 0 — always a chain primary — so every
+		// ladder row exercises at least one failover.
+		for _, h := range f.Hosts {
+			if h.Zone == 0 {
+				killed++
+			}
+		}
+		f.KillZone(0)
+	} else {
+		killed = 1
+		f.KillHost(0)
+	}
+	clock.RunFor(3 * simtime.Second)
+
+	var commit metrics.Stream
+	var epochs uint64
+	for _, r := range f.Timeline.Records() {
+		commit.Add(r.Commit.Seconds() * 1000)
+		epochs++
+	}
+	fences := 0
+	for _, pr := range f.Pairs {
+		fences += pr.Fences
+	}
+	kill := "host-kill"
+	if sc.zoneKill {
+		kill = "zone-kill"
+	}
+	return Bench9Row{
+		Scenario:         sc.name,
+		Replicas:         sc.replicas,
+		Zones:            zones,
+		Kill:             kill,
+		KilledHosts:      killed,
+		Epochs:           epochs,
+		EpochP50Ms:       commit.Percentile(50),
+		EpochP99Ms:       commit.Percentile(99),
+		WireBytesPerPair: float64(f.WireBytes()) / float64(pairs),
+		Failovers:        f.FailoverLatencies.N(),
+		FailoverMeanMs:   f.FailoverLatencies.Mean() * 1000,
+		FailoverMaxMs:    f.FailoverLatencies.Max() * 1000,
+		Fences:           fences,
+	}
+}
+
+// JSON renders the report with stable formatting for committing.
+func (r Bench9Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Bench9Table renders the report as a human-readable table.
+func Bench9Table(r Bench9Report) *metrics.Table {
+	tb := metrics.NewTable("BENCH_9: f+1 replication ladder (4 chains, 8+4 hosts)",
+		"Shape", "Replicas", "Kill", "Hosts down", "Epochs", "CommitP50", "CommitP99", "Wire/pair", "Failovers", "FailoverMean", "Fences")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Scenario,
+			fmt.Sprintf("%d", row.Replicas),
+			row.Kill,
+			fmt.Sprintf("%d", row.KilledHosts),
+			fmt.Sprintf("%d", row.Epochs),
+			fmt.Sprintf("%.2fms", row.EpochP50Ms),
+			fmt.Sprintf("%.2fms", row.EpochP99Ms),
+			metrics.FormatBytes(int64(row.WireBytesPerPair)),
+			fmt.Sprintf("%d", row.Failovers),
+			fmt.Sprintf("%.1fms", row.FailoverMeanMs),
+			fmt.Sprintf("%d", row.Fences))
+	}
+	return tb
+}

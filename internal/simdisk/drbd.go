@@ -32,8 +32,12 @@ type DRBD struct {
 	Role  DRBDRole
 	Local *Disk
 
-	link *simnet.Link
-	peer *DRBD
+	// Primary end: one secondary per replica, each reached over its own
+	// replication link (f+1 chains fan every write out to all of them;
+	// the per-link Transfer models the real per-replica NIC cost).
+	// links[i] carries writes to peers[i].
+	links []*simnet.Link
+	peers []*DRBD
 
 	epoch uint64 // primary: epoch tag for new writes
 	// epochWrites counts the primary's shipped writes per epoch; the
@@ -67,13 +71,42 @@ type DRBD struct {
 
 // NewDRBDPair wires a primary/secondary pair over the replication link.
 func NewDRBDPair(primaryDisk, backupDisk *Disk, link *simnet.Link) (*DRBD, *DRBD) {
-	p := &DRBD{Role: RolePrimary, Local: primaryDisk, link: link,
+	p := &DRBD{Role: RolePrimary, Local: primaryDisk,
 		epochWrites: make(map[uint64]int64)}
-	s := &DRBD{Role: RoleSecondary, Local: backupDisk, link: link,
-		recvWrites: make(map[uint64]int64), verified: make(map[uint64]bool)}
-	p.peer = s
-	s.peer = p
+	s := p.AttachSecondary(backupDisk, link)
 	return p, s
+}
+
+// AttachSecondary stacks one more secondary onto a primary end over its
+// own replication link and returns it. The new secondary has seen none
+// of the primary's earlier epochs, so its first barrier will fail count
+// verification and drive the normal NACK → full-resync baseline — which
+// is exactly how chain repair brings a fresh replica up to date.
+func (d *DRBD) AttachSecondary(backupDisk *Disk, link *simnet.Link) *DRBD {
+	if d.Role != RolePrimary {
+		panic("simdisk: attach-secondary on secondary end")
+	}
+	s := &DRBD{Role: RoleSecondary, Local: backupDisk,
+		recvWrites: make(map[uint64]int64), verified: make(map[uint64]bool)}
+	d.peers = append(d.peers, s)
+	d.links = append(d.links, link)
+	return s
+}
+
+// DetachPeer unhooks one secondary from a primary end (per-replica
+// fencing); the remaining peers keep receiving writes. Unknown peers are
+// ignored.
+func (d *DRBD) DetachPeer(s *DRBD) {
+	if d.Role != RolePrimary {
+		return
+	}
+	for i, p := range d.peers {
+		if p == s {
+			d.peers = append(d.peers[:i], d.peers[i+1:]...)
+			d.links = append(d.links[:i], d.links[i+1:]...)
+			return
+		}
+	}
 }
 
 // SetEpoch sets the epoch tag for subsequent primary writes.
@@ -92,10 +125,12 @@ func (d *DRBD) WriteBlock(bn uint64, data []byte) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	op := WriteOp{Block: bn, Data: cp, Epoch: d.epoch}
-	peer := d.peer
-	if peer != nil && d.link != nil {
+	if len(d.peers) > 0 {
 		d.epochWrites[d.epoch]++
-		d.link.Transfer(int64(len(data)+24), func() { peer.receiveWrite(op) })
+		for i, peer := range d.peers {
+			peer := peer
+			d.links[i].Transfer(int64(len(data)+24), func() { peer.receiveWrite(op) })
+		}
 	}
 	return nil
 }
@@ -111,11 +146,13 @@ func (d *DRBD) Barrier(e uint64) {
 	if d.Role != RolePrimary {
 		panic("simdisk: barrier on secondary")
 	}
-	peer := d.peer
-	if peer != nil && d.link != nil {
+	if len(d.peers) > 0 {
 		count := d.epochWrites[e]
 		delete(d.epochWrites, e)
-		d.link.Transfer(24, func() { peer.receiveBarrier(e, count) })
+		for i, peer := range d.peers {
+			peer := peer
+			d.links[i].Transfer(24, func() { peer.receiveBarrier(e, count) })
+		}
 	}
 }
 
@@ -241,7 +278,7 @@ func (d *DRBD) DiscardAbove(e uint64) {
 // Committed returns the highest epoch applied to the local disk.
 func (d *DRBD) Committed() uint64 { return d.committed }
 
-// Detach disconnects a primary end from its peer: subsequent writes
+// Detach disconnects a primary end from every peer: subsequent writes
 // apply locally only and nothing further is shipped. Used when the
 // backup's host is declared dead (fencing) — the primary keeps serving
 // from its local disk until a new DRBD pair is stacked by re-protection.
@@ -249,11 +286,14 @@ func (d *DRBD) Detach() error {
 	if d.Role != RolePrimary {
 		return fmt.Errorf("simdisk: detach on %v end", d.Role)
 	}
-	d.peer = nil
-	d.link = nil
+	d.peers = nil
+	d.links = nil
 	d.epochWrites = make(map[uint64]int64)
 	return nil
 }
+
+// Peers returns the number of attached secondaries.
+func (d *DRBD) Peers() int { return len(d.peers) }
 
 // Promote turns a secondary into a standalone primary during failover:
 // the restored container's file system writes to the (previously
@@ -267,7 +307,10 @@ func (d *DRBD) Promote() error {
 		return fmt.Errorf("simdisk: promote with %d uncommitted writes buffered", len(d.buffer))
 	}
 	d.Role = RolePrimary
-	d.peer = nil
-	d.link = nil
+	d.peers = nil
+	d.links = nil
+	if d.epochWrites == nil {
+		d.epochWrites = make(map[uint64]int64)
+	}
 	return nil
 }

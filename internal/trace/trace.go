@@ -56,6 +56,13 @@ type EpochRecord struct {
 	// released ("off" when lease arbitration is disabled). An epoch
 	// released out of a fence records the state at flush time.
 	Lease string
+
+	// Replicas is the chain width — primary plus live (unfenced)
+	// backup slots — when the epoch's output was released; Quorum is
+	// the effective commit quorum gating that release. A classic pair
+	// records 2/1. A fence mid-run shows up as a step in the series.
+	Replicas int
+	Quorum   int
 }
 
 // Timeline accumulates epoch records.
@@ -100,7 +107,7 @@ func (tl *Timeline) RecordsFor(pair string) []EpochRecord {
 // WriteCSV emits the series with a header row. Durations are in
 // microseconds, the timestamp in milliseconds.
 func (tl *Timeline) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages,transfer_us,ack_us,commit_us,inflight,wire_bytes,full_frames,delta_frames,zero_frames,dedup_frames,lease,pair"); err != nil {
+	if _, err := fmt.Fprintln(w, "epoch,at_ms,stop_us,freeze_us,memcopy_us,sockcoll_us,state_bytes,dirty_pages,transfer_us,ack_us,commit_us,inflight,wire_bytes,full_frames,delta_frames,zero_frames,dedup_frames,lease,replicas,quorum,pair"); err != nil {
 		return err
 	}
 	for _, r := range tl.records {
@@ -108,7 +115,14 @@ func (tl *Timeline) WriteCSV(w io.Writer) error {
 		if lease == "" {
 			lease = "off"
 		}
-		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s\n",
+		replicas, quorum := r.Replicas, r.Quorum
+		if replicas == 0 {
+			replicas = 2
+		}
+		if quorum == 0 {
+			quorum = 1
+		}
+		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d,%s\n",
 			r.Epoch,
 			float64(r.At)/1e6,
 			r.Stop.Microseconds(),
@@ -127,6 +141,8 @@ func (tl *Timeline) WriteCSV(w io.Writer) error {
 			r.ZeroFrames,
 			r.DedupFrames,
 			lease,
+			replicas,
+			quorum,
 			r.Pair)
 		if err != nil {
 			return err
